@@ -1,0 +1,44 @@
+# Convenience targets for the SDSRP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures-full fig3 fig4 examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper's exact grids (Tables II/III). Hours of CPU; tune --workers.
+figures-full:
+	$(PYTHON) -m repro.experiments fig8 --axis copies --full --workers 4 --json fig8_copies.json
+	$(PYTHON) -m repro.experiments fig8 --axis buffer --full --workers 4 --json fig8_buffer.json
+	$(PYTHON) -m repro.experiments fig8 --axis rate   --full --workers 4 --json fig8_rate.json
+	$(PYTHON) -m repro.experiments fig9 --axis copies --full --workers 4 --json fig9_copies.json
+	$(PYTHON) -m repro.experiments fig9 --axis buffer --full --workers 4 --json fig9_buffer.json
+	$(PYTHON) -m repro.experiments fig9 --axis rate   --full --workers 4 --json fig9_rate.json
+
+fig3:
+	$(PYTHON) -m repro.experiments fig3 --scenario rwp
+	$(PYTHON) -m repro.experiments fig3 --scenario epfl
+
+fig4:
+	$(PYTHON) -m repro.experiments fig4
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/priority_walkthrough.py
+	$(PYTHON) examples/intermeeting_analysis.py
+	$(PYTHON) examples/buffer_policy_comparison.py
+	$(PYTHON) examples/taxi_trace_scenario.py
+	$(PYTHON) examples/custom_policy.py
+	$(PYTHON) examples/contact_trace_replay.py
+	$(PYTHON) examples/message_fate_analysis.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the contact-detection hot path.
+
+Per the hpc guides: the movement + detection loop dominates large-fleet
+runs, so the three detector strategies are measured head-to-head at several
+fleet sizes (this is the data behind ``make_detector``'s size-based default).
+These use normal pytest-benchmark statistics (many rounds) since they are
+pure functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.world.contacts import BruteForceDetector, GridDetector, KDTreeDetector
+
+RADIUS = 100.0
+AREA = 5000.0
+
+DETECTORS = {
+    "brute": BruteForceDetector(),
+    "grid": GridDetector(),
+    "kdtree": KDTreeDetector(),
+}
+
+
+def positions(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0, AREA, size=(n, 2))
+
+
+@pytest.mark.benchmark(group="contacts-n100")
+@pytest.mark.parametrize("kind", list(DETECTORS))
+def test_detector_n100(benchmark, kind):
+    pts = positions(100)
+    expected = DETECTORS["brute"].pairs(pts, RADIUS)
+    result = benchmark(DETECTORS[kind].pairs, pts, RADIUS)
+    assert result == expected
+
+
+@pytest.mark.benchmark(group="contacts-n500")
+@pytest.mark.parametrize("kind", list(DETECTORS))
+def test_detector_n500(benchmark, kind):
+    pts = positions(500)
+    expected = DETECTORS["brute"].pairs(pts, RADIUS)
+    result = benchmark(DETECTORS[kind].pairs, pts, RADIUS)
+    assert result == expected
+
+
+@pytest.mark.benchmark(group="contacts-n2000")
+@pytest.mark.parametrize("kind", ["grid", "kdtree"])
+def test_detector_n2000(benchmark, kind):
+    pts = positions(2000)
+    expected = DETECTORS["kdtree"].pairs(pts, RADIUS)
+    result = benchmark(DETECTORS[kind].pairs, pts, RADIUS)
+    assert result == expected

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the SDSRP math hot paths.
+
+The policy ranks a buffer on every scheduling and drop decision; these
+benches measure the vectorized equation kernels and the mobility engine step
+so regressions in the inner loops are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priority import (
+    priority_closed_form,
+    priority_taylor,
+)
+from repro.core.spray_tree import estimate_infected
+from repro.mobility.random_waypoint import RandomWaypoint
+
+N = 100
+LAM = 5e-5
+RNG = np.random.default_rng(7)
+
+BATCH = {
+    "copies": RNG.choice([1, 2, 4, 8, 16, 32], size=1000),
+    "r": RNG.uniform(10.0, 18000.0, size=1000),
+    "m": RNG.integers(0, 99, size=1000),
+    "n": RNG.integers(1, 40, size=1000),
+}
+
+
+@pytest.mark.benchmark(group="math")
+def test_priority_closed_form_batch(benchmark):
+    out = benchmark(
+        priority_closed_form, BATCH["copies"], BATCH["r"], BATCH["m"],
+        BATCH["n"], LAM, N,
+    )
+    assert np.all(np.isfinite(out))
+
+
+@pytest.mark.benchmark(group="math")
+def test_priority_taylor_batch(benchmark):
+    p_r = RNG.uniform(0.0, 0.99, size=1000)
+    p_t = RNG.uniform(0.0, 0.9, size=1000)
+    out = benchmark(priority_taylor, p_t, p_r, BATCH["n"], 8)
+    assert np.all(out >= 0)
+
+
+@pytest.mark.benchmark(group="math")
+def test_spray_tree_estimate(benchmark):
+    sprays = sorted(RNG.uniform(0, 5000, size=6).tolist())
+
+    def work():
+        return estimate_infected(sprays, now=5000.0,
+                                 mean_min_intermeeting=220.0, n_nodes=N)
+
+    assert benchmark(work) >= 6
+
+
+@pytest.mark.benchmark(group="engine")
+def test_mobility_step_100_nodes(benchmark):
+    model = RandomWaypoint(100, (4500.0, 3400.0))
+    model.initialize(np.random.default_rng(0))
+    state = {"t": 0.0}
+
+    def step():
+        state["t"] += 1.0
+        return model.advance(state["t"])
+
+    out = benchmark(step)
+    assert out.shape == (100, 2)

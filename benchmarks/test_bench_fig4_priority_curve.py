@@ -1,0 +1,44 @@
+"""Fig. 4: the U(P(R)) priority curve and its Taylor truncations.
+
+Checks the two analytic claims: the idealization (Eq. 11) peaks at
+P(R) = 1 − 1/e, and the Eq. 13 truncations converge monotonically to it as
+the term count grows.  Also micro-benchmarks the vectorized curve evaluation
+(the same code path the policy uses to rank whole buffers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.taylor import peak_location, priority_curve, taylor_convergence
+from repro.core.priority import PEAK_P_R
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_curves(benchmark, record_figure):
+    curves = run_once(
+        benchmark,
+        lambda: priority_curve(taylor_term_counts=(1, 2, 4, 8, 16, 32)),
+    )
+    peak = peak_location(curves["p_r"], curves["ideal"])
+    errors = {
+        k: float(np.max(np.abs(curves[k] - curves["ideal"])))
+        for k in curves
+        if k.startswith("taylor")
+    }
+    print(f"\nfig4: ideal peak at P(R)={peak:.4f} (theory {PEAK_P_R:.4f})")
+    for k in sorted(errors, key=lambda s: int(s.split("k")[-1])):
+        print(f"  {k:<12} max error {errors[k]:.4f}")
+    record_figure("fig4", {"peak": peak, "taylor_errors": errors})
+    assert peak == pytest.approx(PEAK_P_R, abs=5e-3)
+    ordered = [errors[f"taylor_k{k}"] for k in (1, 2, 4, 8, 16, 32)]
+    assert all(b <= a + 1e-12 for a, b in zip(ordered, ordered[1:]))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_convergence_table(benchmark, record_figure):
+    errors = run_once(benchmark, lambda: taylor_convergence(max_terms=64))
+    record_figure("fig4_convergence", errors)
+    assert errors[64] < errors[1]

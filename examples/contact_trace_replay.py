@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Record a contact trace from a mobility run, then replay it exactly.
+
+Demonstrates the contact-trace workflow: run a normal mobility simulation
+while recording every link up/down, save the trace to disk (ONE-style
+``CONN`` lines), rebuild the experiment on a :class:`TraceWorld` that
+replays the recorded connectivity without any mobility, and verify the
+replay reproduces the original run's message metrics bit-for-bit.
+
+This is also the entry point for *real* contact datasets (many DTN traces
+are published as contact lists, not GPS logs).
+
+Run:  python examples/contact_trace_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.net.generator import MessageGenerator, TrafficSpec
+from repro.net.transfer import TransferManager
+from repro.policies.fifo import FifoPolicy
+from repro.reports.metrics import MetricsCollector
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.traces.contact_trace import ContactTrace, ContactTraceRecorder
+from repro.units import kbps, megabytes
+from repro.world.node import Node
+from repro.world.radio import Radio
+from repro.world.trace_world import TraceWorld
+from repro.world.world import World
+
+N_NODES = 20
+SIM_TIME = 3000.0
+TRAFFIC = TrafficSpec(interval_range=(40.0, 60.0),
+                      message_size=megabytes(0.5), ttl=9000.0,
+                      initial_copies=8)
+
+
+def build_common(sim: Simulator) -> tuple[list[Node], TransferManager,
+                                          MetricsCollector]:
+    radio = Radio(100.0, kbps(250))
+    nodes = [Node(i, radio, megabytes(2.5)) for i in range(N_NODES)]
+    tm = TransferManager(sim)
+    metrics = MetricsCollector()
+    metrics.subscribe(sim)
+    return nodes, tm, metrics
+
+
+def attach_routers(sim, nodes, tm) -> None:
+    for node in nodes:
+        SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, N_NODES)
+
+
+def run_with_mobility() -> tuple[MetricsCollector, ContactTrace]:
+    sim = Simulator(end_time=SIM_TIME)
+    nodes, tm, metrics = build_common(sim)
+    mobility = RandomWaypoint(N_NODES, (1200.0, 900.0), speed_range=(3.0, 3.0))
+    world = World(sim, mobility, nodes, tm)
+    attach_routers(sim, nodes, tm)
+    recorder = ContactTraceRecorder()
+    recorder.subscribe(sim)
+    gen = MessageGenerator(sim, nodes, TRAFFIC, np.random.default_rng(42))
+    world.start(np.random.default_rng(7))
+    gen.start()
+    sim.run()
+    return metrics, recorder.trace
+
+
+def run_from_trace(trace: ContactTrace) -> MetricsCollector:
+    sim = Simulator(end_time=SIM_TIME)
+    nodes, tm, metrics = build_common(sim)
+    world = TraceWorld(sim, nodes, tm, trace)
+    attach_routers(sim, nodes, tm)
+    gen = MessageGenerator(sim, nodes, TRAFFIC, np.random.default_rng(42))
+    world.start()
+    gen.start()
+    sim.run()
+    return metrics
+
+
+def main() -> None:
+    print(f"1. mobility run: {N_NODES} nodes, {SIM_TIME:.0f} s ...")
+    original, trace = run_with_mobility()
+    print(f"   {len(trace)} link events recorded, "
+          f"{original.created} messages, {original.delivered} delivered")
+
+    path = Path(tempfile.mkstemp(suffix=".contacts")[1])
+    trace.save(path)
+    print(f"2. trace saved to {path} "
+          f"({path.stat().st_size} bytes), reloading ...")
+    reloaded = ContactTrace.load(path)
+
+    print("3. replaying connectivity without mobility ...")
+    replayed = run_from_trace(reloaded)
+
+    print()
+    print(f"{'metric':<18}{'mobility run':>14}{'trace replay':>14}")
+    for name, a, b in (
+        ("created", original.created, replayed.created),
+        ("delivered", original.delivered, replayed.delivered),
+        ("relayed", original.relayed, replayed.relayed),
+        ("drops", original.drops_total, replayed.drops_total),
+    ):
+        marker = "ok" if a == b else "MISMATCH"
+        print(f"{name:<18}{a:>14}{b:>14}   {marker}")
+    assert original.delivered == replayed.delivered
+    assert original.relayed == replayed.relayed
+    print("\nreplay is exact: contact traces fully determine the experiment.")
+    path.unlink()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run one SDSRP simulation and print the paper's metrics.
+
+This builds the paper's Table II scenario (random-waypoint, 100 nodes,
+2.5 MB buffers, 0.5 MB messages, L = 32 copies) at a laptop-friendly reduced
+scale and runs it once per buffer-management policy.
+
+Run:  python examples/quickstart.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import random_waypoint_scenario, run_scenario, scale_scenario
+from repro.reports.summary import RunSummary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper-scale scenario (minutes, not seconds)")
+    parser.add_argument("--policy", default="sdsrp",
+                        help="buffer policy: fifo / snw-o / snw-c / sdsrp / ...")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    config = random_waypoint_scenario(policy=args.policy, seed=args.seed)
+    if not args.full:
+        config = scale_scenario(config, node_factor=0.3, time_factor=0.25,
+                                interval_factor=2.5)
+
+    print(f"running {config.name}: {config.n_nodes} nodes, "
+          f"{config.sim_time:.0f} s, policy={config.policy}")
+    summary = run_scenario(config)
+
+    print()
+    print(RunSummary.table_header())
+    print(summary.table_row())
+    print()
+    print(f"created           {summary.created}")
+    print(f"delivered         {summary.delivered}")
+    print(f"delivery ratio    {summary.delivery_ratio:.3f}")
+    print(f"average hopcount  {summary.average_hopcount:.2f}")
+    print(f"overhead ratio    {summary.overhead_ratio:.2f}")
+    print(f"average latency   {summary.average_latency:.0f} s")
+    print(f"contacts observed {summary.contacts}")
+    print(f"drops             {summary.drops}")
+    print(f"wall time         {summary.wall_seconds:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

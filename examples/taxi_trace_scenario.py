@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's second scenario: San-Francisco taxi mobility (Table III).
+
+By default this uses the synthetic taxi-fleet model that stands in for the
+EPFL/CRAWDAD ``cabspotting`` trace (that dataset is not redistributable; see
+DESIGN.md §1).  If you have a local copy of the real dataset, point
+``--cabspotting-dir`` at it and the same experiment replays the real GPS
+logs instead.
+
+Run:  python examples/taxi_trace_scenario.py [--cabspotting-dir PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import epfl_scenario, run_scenario, scale_scenario
+from repro.experiments.figures import REDUCED_INTERVAL_FACTOR
+from repro.reports.summary import RunSummary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cabspotting-dir", default=None,
+                        help="directory with real new_*.txt cab files")
+    parser.add_argument("--taxis", type=int, default=40,
+                        help="fleet size (paper: 200)")
+    parser.add_argument("--policies", nargs="+",
+                        default=["fifo", "snw-o", "snw-c", "sdsrp"])
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    base = scale_scenario(
+        epfl_scenario(seed=args.seed),
+        node_factor=args.taxis / 200,
+        time_factor=1 / 3,
+        interval_factor=REDUCED_INTERVAL_FACTOR,
+    )
+
+    if args.cabspotting_dir:
+        # Replay real GPS data: resample the first N cabs onto a 30 s grid
+        # and write a playback trace the runner can load.
+        import tempfile
+
+        import numpy as np
+
+        from repro.traces.epfl import load_cabspotting_dir
+        from repro.traces.format import write_movement_trace
+
+        mobility = load_cabspotting_dir(
+            args.cabspotting_dir, n_taxis=base.n_nodes,
+            duration=base.sim_time,
+        )
+        mobility.initialize(np.random.default_rng(0))
+        path = tempfile.mktemp(suffix=".trace")
+        write_movement_trace(path, mobility._times, mobility._samples)
+        base = base.replace(mobility="trace", trace_path=path)
+        print(f"replaying real cabspotting data: {base.n_nodes} taxis")
+    else:
+        print(f"synthetic taxi fleet: {base.n_nodes} taxis "
+              f"(EPFL substitute; see DESIGN.md §1)")
+
+    print(f"{base.sim_time:.0f} s simulated, buffers "
+          f"{base.buffer_bytes // (1024 * 1024)} MB, "
+          f"L={base.initial_copies}\n")
+    print(RunSummary.table_header())
+    for policy in args.policies:
+        summary = run_scenario(base.replace(policy=policy))
+        print(summary.table_row())
+
+
+if __name__ == "__main__":
+    main()

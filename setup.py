@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The environment this repo targets may lack the ``wheel`` package, which
+modern PEP 660 editable installs require; with this shim
+``pip install -e . --no-use-pep517 --no-build-isolation`` works fully
+offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    # Older setuptools (without full PEP 621 script support) needs the
+    # console script declared here too; pyproject.toml remains the source
+    # of truth for everything else.
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ],
+    },
+)

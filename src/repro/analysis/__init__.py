@@ -1,0 +1,28 @@
+"""Analysis tools: distribution fitting (Fig. 3), priority curves (Fig. 4),
+and ordering/trend comparison (the reproduction contract as code)."""
+
+from repro.analysis.comparison import (
+    crossovers,
+    dominates,
+    policy_ranking,
+    trend_direction,
+)
+from repro.analysis.fitting import ExponentialFit, fit_exponential, histogram_pdf
+from repro.analysis.taylor import (
+    peak_location,
+    priority_curve,
+    taylor_convergence,
+)
+
+__all__ = [
+    "ExponentialFit",
+    "crossovers",
+    "dominates",
+    "policy_ranking",
+    "trend_direction",
+    "fit_exponential",
+    "histogram_pdf",
+    "peak_location",
+    "priority_curve",
+    "taylor_convergence",
+]

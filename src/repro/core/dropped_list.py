@@ -1,0 +1,105 @@
+"""Gossiped dropped-message records (paper Fig. 5).
+
+Every node maintains one **own record** — the set of messages *it* has
+dropped, stamped with the time of its latest drop — plus cached records
+gossiped from other nodes.  On contact, two nodes exchange records and keep,
+for each origin node, the copy with the newest record time ("only the source
+node can modify the record time... updating the record with the nearest
+record time").  ``d_i(T_i)`` (Table I) is then the number of node records
+containing message i.
+
+The merge is a last-writer-wins map union: commutative, associative and
+idempotent (property-tested in ``tests/core/test_dropped_list.py``), so
+gossip order cannot corrupt the estimate.
+
+Records also carry each dropped message's expiry time so stale entries
+(messages past TTL, which no longer influence any buffer) can be pruned —
+the paper assumes the structure is negligibly small; pruning keeps that true
+in long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DropRecord:
+    """One node's dropped-message list.
+
+    ``dropped`` maps message id -> expiry time (absolute seconds), so pruning
+    does not need to consult any other component.
+    """
+
+    node_id: int
+    record_time: float = float("-inf")
+    dropped: dict[str, float] = field(default_factory=dict)
+
+    def copy(self) -> "DropRecord":
+        return DropRecord(self.node_id, self.record_time, dict(self.dropped))
+
+
+class DroppedListStore:
+    """The per-node gossip store."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self._own = DropRecord(node_id)
+        #: origin node id -> newest known record from that node.
+        self._records: dict[int, DropRecord] = {node_id: self._own}
+
+    # -- local drops --------------------------------------------------------
+
+    def record_drop(self, msg_id: str, now: float, expires_at: float) -> None:
+        """Add a drop by this node; bumps the own record's time (Fig. 5)."""
+        self._own.dropped[msg_id] = float(expires_at)
+        self._own.record_time = float(now)
+
+    def has_dropped(self, msg_id: str) -> bool:
+        """True if *this* node previously dropped the message (reject rule)."""
+        return msg_id in self._own.dropped
+
+    # -- gossip -------------------------------------------------------------
+
+    def merge_from(self, other: "DroppedListStore") -> None:
+        """Adopt any record of *other* that is newer than ours (LWW union)."""
+        for origin, theirs in other._records.items():
+            if origin == self.node_id:
+                continue  # only we are authoritative for our own record
+            mine = self._records.get(origin)
+            if mine is None or theirs.record_time > mine.record_time:
+                self._records[origin] = theirs.copy()
+
+    def known_records(self) -> dict[int, DropRecord]:
+        """Snapshot view (origin -> record), including the own record."""
+        return dict(self._records)
+
+    # -- estimation -----------------------------------------------------------
+
+    def count_drops(self, msg_id: str) -> int:
+        """d_i — number of known nodes whose list contains *msg_id*."""
+        return sum(1 for rec in self._records.values() if msg_id in rec.dropped)
+
+    def seen_by_any(self, msg_id: str) -> bool:
+        """True if any known record lists *msg_id* (``reject="any"`` mode)."""
+        return any(msg_id in rec.dropped for rec in self._records.values())
+
+    # -- maintenance -----------------------------------------------------------
+
+    def prune(self, now: float) -> int:
+        """Forget entries for messages whose TTL has fully elapsed.
+
+        Returns the number of entries removed.  The own record's
+        ``record_time`` is *not* touched — pruning is not a drop event.
+        """
+        removed = 0
+        for rec in self._records.values():
+            stale = [mid for mid, exp in rec.dropped.items() if exp <= now]
+            for mid in stale:
+                del rec.dropped[mid]
+            removed += len(stale)
+        return removed
+
+    def __len__(self) -> int:
+        """Total dropped entries across all known records."""
+        return sum(len(rec.dropped) for rec in self._records.values())

@@ -1,0 +1,39 @@
+"""Simulation clock.
+
+A tiny mutable wrapper around the current simulation time, shared by every
+component so that "now" has a single source of truth.  Only the simulator's
+main loop advances it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonically advancing simulation time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to *time*.
+
+        Raises :class:`SimulationError` on attempts to move backwards — that
+        always indicates an event-ordering bug.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {time} < {self._now}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Clock t={self._now:.3f}>"

@@ -1,0 +1,132 @@
+"""Event objects and the central event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+a monotonically increasing tie-breaker so that two events scheduled for the
+same instant at the same priority fire in scheduling order (FIFO), which keeps
+runs deterministic.
+
+Cancellation is O(1) lazy: cancelled events stay in the heap but are skipped
+on pop.  This is the standard approach for simulators with frequent
+reschedules (e.g. transfer completions aborted by link-down).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SchedulingError
+
+#: Default event priority. Lower values fire first at equal times.
+PRIORITY_NORMAL = 0
+#: Priority for world updates — they run *before* normal events at the same
+#: timestamp so that connectivity is current when message logic fires.
+PRIORITY_WORLD = -10
+#: Priority for end-of-step bookkeeping (reports sample after message logic).
+PRIORITY_REPORT = 10
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created via :meth:`EventQueue.schedule`; user code holds the
+    returned handle only to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when popped."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.3f} p={self.priority} {name} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule *callback(*args)* to fire at *time*.
+
+        Raises :class:`SchedulingError` for non-finite times; scheduling into
+        the past is the caller's responsibility (the :class:`Simulator`
+        enforces it against its clock).
+        """
+        if time != time or time in (float("inf"), float("-inf")):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        event = Event(float(time), priority, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if empty."""
+        self._discard_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Pop and return the next live event, or None if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,140 @@
+"""The simulation main loop.
+
+:class:`Simulator` owns the clock, the event queue and the listener registry.
+Components (the world, message generators, the transfer manager) register
+events against it.  The loop is a plain "pop next event, advance clock, fire"
+discrete-event loop; the ONE-style time-stepped behaviour comes from the
+world registering a recurring update event at :attr:`tick` intervals with
+:data:`~repro.engine.events.PRIORITY_WORLD` so movement/connectivity is
+refreshed before message logic at the same instant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.engine.clock import Clock
+from repro.engine.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.engine.hooks import ListenerRegistry
+from repro.errors import SchedulingError
+
+
+class Simulator:
+    """Event loop with a shared clock and pub/sub registry.
+
+    Parameters
+    ----------
+    end_time:
+        Simulation horizon in seconds.  Events scheduled past the horizon are
+        accepted but never fire.
+    """
+
+    def __init__(self, end_time: float) -> None:
+        if end_time <= 0:
+            raise SchedulingError(f"end_time must be positive, got {end_time}")
+        self.end_time = float(end_time)
+        self.clock = Clock(0.0)
+        self.queue = EventQueue()
+        self.listeners = ListenerRegistry()
+        self._running = False
+        self._events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (diagnostics / benchmarks)."""
+        return self._events_processed
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule an absolute-time event; must not be in the past."""
+        if time < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (now={self.clock.now})"
+            )
+        return self.queue.schedule(time, callback, *args, priority=priority)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule an event *delay* seconds from now; delay must be >= 0."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self.queue.schedule(
+            self.clock.now + delay, callback, *args, priority=priority
+        )
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        start: float | None = None,
+    ) -> None:
+        """Schedule *callback* at fixed intervals until the horizon.
+
+        The callback is re-armed after each firing, so a callback that raises
+        stops its own recurrence (and the run).
+        """
+        if interval <= 0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        first = self.clock.now if start is None else start
+
+        def fire() -> None:
+            callback(*args)
+            next_time = self.clock.now + interval
+            if next_time <= self.end_time:
+                self.queue.schedule(next_time, fire, priority=priority)
+
+        self.schedule_at(first, fire, priority=priority)
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in order until *until* (default: the horizon).
+
+        May be called repeatedly with increasing ``until`` values to run the
+        simulation in slices (used by live reports and tests).
+        """
+        horizon = self.end_time if until is None else min(until, self.end_time)
+        self._running = True
+        stopped = False
+        try:
+            while True:
+                if not self._running:
+                    stopped = True
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                event = self.queue.pop()
+                assert event is not None  # peek said non-empty
+                self.clock.advance_to(event.time)
+                self._events_processed += 1
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        # stop() freezes time where it is; a drained queue runs out the clock.
+        if not stopped and self.clock.now < horizon:
+            self.clock.advance_to(horizon)
+
+    def stop(self) -> None:
+        """Stop the loop after the currently firing event returns."""
+        self._running = False

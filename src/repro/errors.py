@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` DTN simulator.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch simulator failures without masking programming errors (``TypeError``
+etc. are deliberately *not* wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario / component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state."""
+
+
+class BufferError_(ReproError):
+    """Buffer accounting violation (offered message cannot fit at all, etc.)."""
+
+
+class MessageNotFoundError(BufferError_, KeyError):
+    """Lookup of a message id in a buffer failed."""
+
+
+class DuplicateMessageError(BufferError_):
+    """A message id was inserted twice into the same buffer."""
+
+
+class TransferError(ReproError):
+    """Transfer manager misuse (e.g. starting a transfer on a dead link)."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """An external movement/contact trace file could not be parsed."""
+
+
+class SchedulingError(ReproError):
+    """Event queue misuse (e.g. scheduling into the past)."""

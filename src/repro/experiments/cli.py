@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro.experiments`` / ``repro-experiments``.
+
+Subcommands regenerate the paper's artifacts::
+
+    repro-experiments run  --scenario rwp --policy sdsrp          # one run
+    repro-experiments fig3 --scenario epfl                        # distribution fit
+    repro-experiments fig4                                        # priority curves
+    repro-experiments fig8 --axis copies --workers 8              # reduced scale
+    repro-experiments fig8 --axis copies --full --workers 16      # paper scale
+    repro-experiments fig9 --axis buffer --replicates 3
+
+``--json FILE`` additionally dumps the raw series for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.experiments import figures as F
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import epfl_scenario, random_waypoint_scenario
+from repro.reports.summary import RunSummary
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", type=str, default=None, metavar="FILE",
+                        help="also dump results as JSON")
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument("--axis", choices=("copies", "buffer", "rate"),
+                        default="copies")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale grids (slow)")
+    parser.add_argument("--replicates", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--policies", nargs="+", default=list(F.PAPER_POLICIES))
+
+
+def _dump_json(path: str, payload: Any) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    print(f"wrote {path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base = random_waypoint_scenario() if args.scenario == "rwp" else epfl_scenario()
+    config = base.replace(
+        policy=args.policy, seed=args.seed, initial_copies=args.copies
+    )
+    if args.reduced:
+        config = F._reduced(config)
+    summary = run_scenario(config)
+    print(RunSummary.table_header())
+    print(summary.table_row())
+    if args.json:
+        _dump_json(args.json, summary.as_dict())
+    return 0
+
+
+def _cmd_figsweep(args: argparse.Namespace, scenario: str) -> int:
+    fn = {
+        ("fig8", "copies"): F.fig8_copies,
+        ("fig8", "buffer"): F.fig8_buffer,
+        ("fig8", "rate"): F.fig8_rate,
+        ("fig9", "copies"): F.fig9_copies,
+        ("fig9", "buffer"): F.fig9_buffer,
+        ("fig9", "rate"): F.fig9_rate,
+    }[(scenario, args.axis)]
+    data = fn(
+        full=args.full,
+        policies=tuple(args.policies),
+        replicates=args.replicates,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    for metric in F.PAPER_METRICS:
+        print(data.metric_table(metric))
+        print()
+    if args.json:
+        _dump_json(args.json, {
+            "figure": data.figure,
+            "x_label": data.x_label,
+            "x_values": data.x_values,
+            "series": data.series,
+        })
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    fit, samples = F.fig3_intermeeting(
+        scenario=args.scenario, full=args.full, seed=args.seed
+    )
+    print(f"fig3 ({args.scenario}): {fit.n_samples} intermeeting samples")
+    print(f"  E(I) = {fit.mean:.1f} s   λ = {fit.rate:.3e} /s")
+    print(f"  KS statistic = {fit.ks_statistic:.4f} (p = {fit.ks_pvalue:.3f})")
+    if args.json:
+        _dump_json(args.json, {
+            "scenario": args.scenario,
+            "mean": fit.mean,
+            "rate": fit.rate,
+            "n_samples": fit.n_samples,
+            "ks_statistic": fit.ks_statistic,
+            "ks_pvalue": fit.ks_pvalue,
+            "samples": samples.tolist(),
+        })
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    curves = F.fig4_priority_curve()
+    p_r = curves["p_r"]
+    ideal = curves["ideal"]
+    peak = float(p_r[int(ideal.argmax())])
+    print(f"fig4: idealized priority peaks at P(R) = {peak:.4f} "
+          f"(theory: 1 - 1/e = {1 - 1 / 2.718281828:.4f})")
+    for key in sorted(k for k in curves if k.startswith("taylor")):
+        err = float(abs(curves[key] - ideal).max())
+        print(f"  {key:<12} max |error| vs idealization = {err:.4f}")
+    if args.json:
+        _dump_json(args.json, {k: v.tolist() for k, v in curves.items()})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the SDSRP paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    _add_common(p_run)
+    p_run.add_argument("--scenario", choices=("rwp", "epfl"), default="rwp")
+    p_run.add_argument("--policy", default="sdsrp")
+    p_run.add_argument("--copies", type=int, default=32)
+    p_run.add_argument("--reduced", action="store_true",
+                       help="run the reduced-scale variant")
+
+    p_fig3 = sub.add_parser("fig3", help="intermeeting distribution fit")
+    _add_common(p_fig3)
+    p_fig3.add_argument("--scenario", choices=("rwp", "epfl"), default="rwp")
+    p_fig3.add_argument("--full", action="store_true")
+
+    p_fig4 = sub.add_parser("fig4", help="priority curves")
+    _add_common(p_fig4)
+
+    for fig in ("fig8", "fig9"):
+        p = sub.add_parser(fig, help=f"{fig} metric sweeps")
+        _add_sweep_args(p)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "fig3":
+        return _cmd_fig3(args)
+    if args.command == "fig4":
+        return _cmd_fig4(args)
+    if args.command in ("fig8", "fig9"):
+        return _cmd_figsweep(args, args.command)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Build and run one scenario.
+
+:func:`build_scenario` assembles the full simulator stack from a
+:class:`~repro.experiments.scenario.ScenarioConfig`; :func:`run_scenario`
+runs it to the horizon and returns a
+:class:`~repro.reports.summary.RunSummary`.  Both are importable by worker
+processes (no closures), so sweeps parallelize cleanly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.oracle import GlobalInfectionOracle
+from repro.core.params import ESTIMATOR_ORACLE, SdsrpParams
+from repro.core.sdsrp import SdsrpPolicy, SdsrpShared
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.taxi import TaxiFleet
+from repro.net.generator import MessageGenerator, TrafficSpec
+from repro.net.transfer import TransferManager
+from repro.policies.base import BufferPolicy
+from repro.policies.registry import make_policy
+from repro.reports.buffer_report import BufferReport
+from repro.reports.contact_report import ContactReport
+from repro.reports.metrics import MetricsCollector
+from repro.reports.summary import RunSummary
+from repro.rng import RngFactory
+from repro.routing.base import Router
+from repro.routing.direct import DirectDeliveryRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.first_contact import FirstContactRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.spray_and_focus import SprayAndFocusRouter
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.traces.format import read_movement_trace
+from repro.world.contacts import make_detector
+from repro.world.node import Node
+from repro.world.radio import Radio
+from repro.world.world import World
+from repro.experiments.scenario import ScenarioConfig
+
+
+@dataclass
+class BuiltSimulation:
+    """The assembled stack for one run (exposed for tests and examples)."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    world: World
+    nodes: list[Node]
+    metrics: MetricsCollector
+    contacts: ContactReport
+    generator: MessageGenerator
+    shared: SdsrpShared | None
+    buffer_report: BufferReport | None
+
+
+def _make_mobility(config: ScenarioConfig) -> MobilityModel:
+    kw = dict(config.mobility_kwargs)
+    if config.mobility == "rwp":
+        return RandomWaypoint(
+            config.n_nodes, config.area, config.speed_range, config.pause_range, **kw
+        )
+    if config.mobility == "taxi":
+        return TaxiFleet(config.n_nodes, area=config.area, **kw)
+    if config.mobility == "random-walk":
+        return RandomWalk(config.n_nodes, config.area, config.speed_range, **kw)
+    if config.mobility == "random-direction":
+        return RandomDirection(
+            config.n_nodes, config.area, config.speed_range, config.pause_range, **kw
+        )
+    if config.mobility == "trace":
+        assert config.trace_path is not None
+        mobility = read_movement_trace(config.trace_path)
+        if mobility.n_nodes != config.n_nodes:
+            raise ConfigurationError(
+                f"trace drives {mobility.n_nodes} nodes, scenario wants "
+                f"{config.n_nodes}"
+            )
+        return mobility
+    raise ConfigurationError(f"unknown mobility {config.mobility!r}")
+
+
+#: Policies of the SDSRP family share fleet state (λ estimator / oracle);
+#: the suffix "-oracle" switches any of them to exact global knowledge.
+_SHARED_FAMILY: dict[str, type[SdsrpPolicy]] = {}
+
+
+def _shared_family() -> dict[str, type[SdsrpPolicy]]:
+    if not _SHARED_FAMILY:
+        from repro.core.knapsack import KnapsackSdsrpPolicy
+        from repro.policies.gbsd import GbsdPolicy
+
+        _SHARED_FAMILY.update(
+            {
+                "sdsrp": SdsrpPolicy,
+                "sdsrp-oracle": SdsrpPolicy,
+                "sdsrp-knapsack": KnapsackSdsrpPolicy,
+                "gbsd": GbsdPolicy,
+                "gbsd-oracle": GbsdPolicy,
+            }
+        )
+    return _SHARED_FAMILY
+
+
+def _make_policies(
+    config: ScenarioConfig, sim: Simulator
+) -> tuple[list[BufferPolicy], SdsrpShared | None]:
+    """One policy instance per node, plus the SDSRP shared state if any."""
+    family = _shared_family()
+    if config.policy in family:
+        cls = family[config.policy]
+        kwargs = dict(config.policy_kwargs)
+        if config.policy.endswith("-oracle"):
+            kwargs["estimator"] = ESTIMATOR_ORACLE
+        params = SdsrpParams(**kwargs)
+        oracle = None
+        if params.estimator == ESTIMATOR_ORACLE:
+            oracle = GlobalInfectionOracle()
+            oracle.subscribe(sim)
+        shared = SdsrpShared.for_fleet(config.n_nodes, params=params, oracle=oracle)
+        return [cls(shared=shared) for _ in range(config.n_nodes)], shared
+    policies = [
+        make_policy(config.policy, **config.policy_kwargs)
+        for _ in range(config.n_nodes)
+    ]
+    return policies, None
+
+
+def _make_router(config: ScenarioConfig, node: Node, policy: BufferPolicy) -> Router:
+    if config.router == "snw":
+        return SprayAndWaitRouter(node, policy)
+    if config.router == "snw-source":
+        return SprayAndWaitRouter(node, policy, source_spray=True)
+    if config.router == "epidemic":
+        return EpidemicRouter(node, policy)
+    if config.router == "direct":
+        return DirectDeliveryRouter(node, policy)
+    if config.router == "first-contact":
+        return FirstContactRouter(node, policy)
+    if config.router == "snf":
+        return SprayAndFocusRouter(node, policy)
+    if config.router == "prophet":
+        return ProphetRouter(node, policy)
+    raise ConfigurationError(f"unknown router {config.router!r}")
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
+    """Assemble the simulator stack without running it."""
+    sim = Simulator(end_time=config.sim_time)
+    rng = RngFactory(config.seed)
+
+    mobility = _make_mobility(config)
+    radio = Radio(range_m=config.radio_range, bandwidth_Bps=config.bandwidth)
+    nodes = [
+        Node(i, radio, buffer_capacity=config.buffer_bytes)
+        for i in range(config.n_nodes)
+    ]
+    transfer_manager = TransferManager(sim)
+    detector = make_detector(config.n_nodes, config.detector)
+    world = World(sim, mobility, nodes, transfer_manager, detector, tick=config.tick)
+
+    policies, shared = _make_policies(config, sim)
+    for node, policy in zip(nodes, policies):
+        router = _make_router(config, node, policy)
+        router.deliverable_first = config.deliverable_first
+        router.bind(sim, transfer_manager, config.n_nodes)
+
+    metrics = MetricsCollector(warmup=config.metrics_warmup)
+    metrics.subscribe(sim)
+    contacts = ContactReport()
+    contacts.subscribe(sim)
+    buffer_report = None
+    if config.with_buffer_report:
+        buffer_report = BufferReport(nodes)
+        buffer_report.subscribe(sim)
+
+    generator = MessageGenerator(
+        sim,
+        nodes,
+        TrafficSpec(
+            interval_range=config.interval_range,
+            message_size=config.message_size,
+            ttl=config.ttl,
+            initial_copies=config.initial_copies,
+            size_range=config.message_size_range,
+        ),
+        rng.stream("traffic"),
+    )
+
+    world.start(rng.stream("mobility"))
+    generator.start()
+    return BuiltSimulation(
+        config=config,
+        sim=sim,
+        world=world,
+        nodes=nodes,
+        metrics=metrics,
+        contacts=contacts,
+        generator=generator,
+        shared=shared,
+        buffer_report=buffer_report,
+    )
+
+
+def run_scenario(config: ScenarioConfig) -> RunSummary:
+    """Build, run to the horizon, and summarize one scenario."""
+    wall_start = time.perf_counter()
+    built = build_scenario(config)
+    built.sim.run()
+    metrics = built.metrics
+    return RunSummary(
+        scenario=config.name,
+        policy=config.policy,
+        seed=config.seed,
+        sim_time=config.sim_time,
+        initial_copies=config.initial_copies,
+        buffer_bytes=config.buffer_bytes,
+        interval_range=config.interval_range,
+        created=metrics.created,
+        delivered=metrics.delivered,
+        relayed=metrics.relayed,
+        delivery_ratio=metrics.delivery_ratio,
+        average_hopcount=metrics.average_hopcount,
+        overhead_ratio=metrics.overhead_ratio,
+        average_latency=metrics.average_latency,
+        drops=dict(metrics.drops_by_reason),
+        contacts=built.contacts.contact_count,
+        mean_intermeeting=built.contacts.mean_intermeeting(),
+        wall_seconds=time.perf_counter() - wall_start,
+    )

@@ -1,0 +1,58 @@
+"""Parameter sweeps over scenarios.
+
+Thin, deterministic glue between scenario configs and the process pool:
+
+* :func:`replicate` — n seeds per config (seed derivation is stable under
+  reordering, see :func:`repro.rng.derive_seed`);
+* :func:`run_many` — run a list of configs, serial or parallel, preserving
+  input order;
+* :func:`summarize_replicates` — average metric values over replicates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.parallel.pool import parallel_map
+from repro.reports.summary import RunSummary
+from repro.rng import derive_seed
+
+
+def replicate(config: ScenarioConfig, n: int) -> list[ScenarioConfig]:
+    """*n* copies of *config* with independent, reproducible seeds."""
+    return [
+        config.replace(seed=derive_seed(config.seed, "replicate", i))
+        for i in range(n)
+    ]
+
+
+def run_many(
+    configs: Sequence[ScenarioConfig],
+    workers: int | None = None,
+) -> list[RunSummary]:
+    """Run every config; results are in input order.
+
+    ``workers=None`` uses all cores minus one; ``workers=1`` forces serial.
+    """
+    return parallel_map(run_scenario, list(configs), workers=workers)
+
+
+def summarize_replicates(
+    summaries: Sequence[RunSummary], metric: str
+) -> float:
+    """Mean of *metric* across replicate summaries, ignoring NaNs.
+
+    Returns NaN when every replicate is NaN (e.g. overhead with zero
+    deliveries).
+    """
+    values = [
+        v
+        for s in summaries
+        if not math.isnan(v := float(getattr(s, metric)))
+    ]
+    if not values:
+        return math.nan
+    return sum(values) / len(values)

@@ -1,0 +1,190 @@
+"""Mobility model interface and the shared vectorized waypoint engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class MobilityModel(ABC):
+    """Fleet-level mobility: owns and advances all node positions.
+
+    Contract: :meth:`initialize` is called once with the fleet RNG before the
+    run; :meth:`advance` is then called with non-decreasing times and returns
+    the full ``(N, 2)`` position array (a live view — callers must not
+    mutate it).
+    """
+
+    def __init__(self, n_nodes: int, area: tuple[float, float]) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1: {n_nodes}")
+        width, height = area
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(f"area must be positive: {area}")
+        self.n_nodes = int(n_nodes)
+        self.area = (float(width), float(height))
+        self._time = 0.0
+        self._initialized = False
+
+    @abstractmethod
+    def _setup(self, rng: np.random.Generator) -> None:
+        """Draw initial state (positions, targets, ...)."""
+
+    @abstractmethod
+    def _step(self, dt: float) -> None:
+        """Advance internal state by *dt* seconds."""
+
+    @property
+    @abstractmethod
+    def positions(self) -> np.ndarray:
+        """Current ``(N, 2)`` positions in meters."""
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        """Reset to time 0 and draw the initial fleet state."""
+        self._rng = rng
+        self._time = 0.0
+        self._setup(rng)
+        self._initialized = True
+
+    #: Largest dt handed to :meth:`_step` in one call; larger advances are
+    #: subdivided so waypoint turnarounds are not skipped over.
+    max_step: float = 1.0
+
+    def advance(self, to_time: float) -> np.ndarray:
+        """Advance the fleet to *to_time* and return positions."""
+        if not self._initialized:
+            raise SimulationError("mobility model used before initialize()")
+        if to_time < self._time:
+            raise SimulationError(
+                f"mobility cannot rewind: {to_time} < {self._time}"
+            )
+        remaining = to_time - self._time
+        while remaining > 1e-12:
+            dt = min(remaining, self.max_step)
+            self._step(dt)
+            remaining -= dt
+        self._time = to_time
+        return self.positions
+
+    def _uniform_positions(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform initial placement over the area."""
+        w, h = self.area
+        return rng.uniform((0.0, 0.0), (w, h), size=(self.n_nodes, 2))
+
+
+class WaypointEngine(MobilityModel):
+    """Vectorized move-pause-retarget engine.
+
+    Subclasses customize destination selection (:meth:`sample_targets`) —
+    uniform for random-waypoint, hotspot-biased for the taxi model — and
+    optionally speed/pause draws.  Movement follows straight lines at a
+    per-leg speed; on arrival the node pauses (possibly zero) and then draws
+    a new target.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float],
+        speed_range: tuple[float, float],
+        pause_range: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        super().__init__(n_nodes, area)
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ConfigurationError(f"bad speed_range: {speed_range}")
+        plo, phi = pause_range
+        if not 0 <= plo <= phi:
+            raise ConfigurationError(f"bad pause_range: {pause_range}")
+        self.speed_range = (float(lo), float(hi))
+        self.pause_range = (float(plo), float(phi))
+
+    # -- hooks ---------------------------------------------------------------
+
+    def sample_targets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *n* destination points; default is uniform over the area."""
+        w, h = self.area
+        return rng.uniform((0.0, 0.0), (w, h), size=(n, 2))
+
+    def sample_speeds(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.speed_range
+        if lo == hi:
+            return np.full(n, lo)
+        return rng.uniform(lo, hi, size=n)
+
+    def sample_pauses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.pause_range
+        if hi == 0.0:
+            return np.zeros(n)
+        return rng.uniform(lo, hi, size=n)
+
+    # -- engine ----------------------------------------------------------------
+
+    def _setup(self, rng: np.random.Generator) -> None:
+        n = self.n_nodes
+        self._pos = self._uniform_positions(rng)
+        self._target = self.sample_targets(n, rng)
+        self._speed = self.sample_speeds(n, rng)
+        self._pause_left = np.zeros(n)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos
+
+    def _step(self, dt: float) -> None:
+        rng = self._rng
+        # Budget of travel time per node for this step, net of pauses.
+        budget = np.full(self.n_nodes, dt)
+        paused = self._pause_left > 0
+        if paused.any():
+            consumed = np.minimum(self._pause_left[paused], budget[paused])
+            self._pause_left[paused] -= consumed
+            budget[paused] -= consumed
+
+        # A node can pass through at most a few waypoints per (small) step;
+        # loop until every node's budget is spent.
+        for _ in range(64):
+            active = budget > 1e-12
+            # Nodes that became paused mid-step consume budget from pause.
+            pause_active = active & (self._pause_left > 0)
+            if pause_active.any():
+                consumed = np.minimum(
+                    self._pause_left[pause_active], budget[pause_active]
+                )
+                self._pause_left[pause_active] -= consumed
+                budget[pause_active] -= consumed
+                active = budget > 1e-12
+            if not active.any():
+                break
+            idx = np.nonzero(active & (self._pause_left <= 0))[0]
+            if idx.size == 0:
+                break
+            vec = self._target[idx] - self._pos[idx]
+            dist = np.hypot(vec[:, 0], vec[:, 1])
+            reach = self._speed[idx] * budget[idx]
+            arriving = reach >= dist
+            moving = ~arriving
+
+            move_idx = idx[moving]
+            if move_idx.size:
+                d = dist[moving]
+                step = reach[moving] / np.maximum(d, 1e-12)
+                self._pos[move_idx] += vec[moving] * step[:, None]
+                budget[move_idx] = 0.0
+
+            arrive_idx = idx[arriving]
+            if arrive_idx.size:
+                self._pos[arrive_idx] = self._target[arrive_idx]
+                travel_time = dist[arriving] / self._speed[arrive_idx]
+                budget[arrive_idx] -= travel_time
+                k = arrive_idx.size
+                self._target[arrive_idx] = self.sample_targets(k, rng)
+                self._speed[arrive_idx] = self.sample_speeds(k, rng)
+                self._pause_left[arrive_idx] = self.sample_pauses(k, rng)
+        else:  # pragma: no cover - defensive: absurdly fast nodes
+            raise SimulationError(
+                "waypoint engine did not converge; speed too high for max_step"
+            )

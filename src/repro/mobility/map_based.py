@@ -1,0 +1,164 @@
+"""Map-based mobility: movement constrained to a street graph.
+
+ONE's distinguishing mobility feature is map-constrained movement —
+pedestrians/vehicles pick destinations and follow shortest paths along the
+road network rather than straight lines.  This model implements the same
+idea on a :mod:`networkx` graph whose nodes carry ``pos=(x, y)`` attributes:
+each simulated node walks the Euclidean-shortest path to a uniformly chosen
+map vertex, pauses, and repeats.
+
+Unlike the fleet-vectorized models, path following here is per-node Python
+(paths have irregular lengths); it is intended for moderate fleets and for
+scenarios where the street-grid topology matters (e.g. contact hot spots at
+intersections).  :func:`grid_map` builds a jittered Manhattan street grid to
+get started without map data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+
+
+def grid_map(
+    cols: int,
+    rows: int,
+    spacing: float = 200.0,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> nx.Graph:
+    """A cols × rows street grid with optional intersection jitter.
+
+    Edge weights are Euclidean lengths (the shortest-path metric).
+    """
+    if cols < 2 or rows < 2:
+        raise ConfigurationError("grid needs at least 2x2 intersections")
+    if spacing <= 0:
+        raise ConfigurationError(f"spacing must be positive: {spacing}")
+    rng = rng or np.random.default_rng(0)
+    graph = nx.grid_2d_graph(cols, rows)
+    pos: dict[tuple[int, int], tuple[float, float]] = {}
+    for cx, cy in graph.nodes:
+        dx, dy = (rng.uniform(-jitter, jitter, size=2) if jitter > 0
+                  else (0.0, 0.0))
+        pos[(cx, cy)] = (cx * spacing + float(dx), cy * spacing + float(dy))
+    nx.set_node_attributes(graph, pos, "pos")
+    for u, v in graph.edges:
+        (x1, y1), (x2, y2) = pos[u], pos[v]
+        graph.edges[u, v]["weight"] = math.hypot(x2 - x1, y2 - y1)
+    return graph
+
+
+class MapBasedMobility(MobilityModel):
+    """Shortest-path movement over a street graph."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        graph: nx.Graph,
+        speed_range: tuple[float, float] = (1.0, 2.0),
+        pause_range: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if graph.number_of_nodes() < 2:
+            raise ConfigurationError("map needs at least 2 vertices")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("map graph must be connected")
+        missing = [v for v, d in graph.nodes(data=True) if "pos" not in d]
+        if missing:
+            raise ConfigurationError(
+                f"{len(missing)} map vertices lack a 'pos' attribute"
+            )
+        coords = np.array([graph.nodes[v]["pos"] for v in graph.nodes])
+        width = float(coords[:, 0].max()) - min(0.0, float(coords[:, 0].min()))
+        height = float(coords[:, 1].max()) - min(0.0, float(coords[:, 1].min()))
+        super().__init__(n_nodes, (max(width, 1.0), max(height, 1.0)))
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ConfigurationError(f"bad speed_range: {speed_range}")
+        plo, phi = pause_range
+        if not 0 <= plo <= phi:
+            raise ConfigurationError(f"bad pause_range: {pause_range}")
+        self.graph = graph
+        self.speed_range = (float(lo), float(hi))
+        self.pause_range = (float(plo), float(phi))
+        self._vertices = list(graph.nodes)
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, rng: np.random.Generator) -> None:
+        n = self.n_nodes
+        self._pos = np.zeros((n, 2))
+        self._at_vertex: list = [None] * n
+        self._route: list[list[tuple[float, float]]] = [[] for _ in range(n)]
+        self._speed = np.zeros(n)
+        self._pause_left = np.zeros(n)
+        for i in range(n):
+            start = self._vertices[int(rng.integers(len(self._vertices)))]
+            self._at_vertex[i] = start
+            self._pos[i] = self.graph.nodes[start]["pos"]
+            self._new_route(i, rng)
+
+    def _new_route(self, i: int, rng: np.random.Generator) -> None:
+        """Pick a destination vertex and lay out its waypoint polyline."""
+        src = self._at_vertex[i]
+        while True:
+            dst = self._vertices[int(rng.integers(len(self._vertices)))]
+            if dst != src:
+                break
+        path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        self._route[i] = [tuple(self.graph.nodes[v]["pos"]) for v in path[1:]]
+        self._at_vertex[i] = dst
+        lo, hi = self.speed_range
+        self._speed[i] = lo if lo == hi else float(rng.uniform(lo, hi))
+        plo, phi = self.pause_range
+        self._pause_left[i] = 0.0 if phi == 0 else float(rng.uniform(plo, phi))
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _step(self, dt: float) -> None:
+        rng = self._rng
+        for i in range(self.n_nodes):
+            budget = dt
+            if self._pause_left[i] > 0:
+                consumed = min(self._pause_left[i], budget)
+                self._pause_left[i] -= consumed
+                budget -= consumed
+            x, y = self._pos[i]
+            speed = self._speed[i]
+            guard = 0
+            while budget > 1e-12:
+                guard += 1
+                if guard > 10_000:  # pragma: no cover - defensive
+                    raise ConfigurationError(
+                        "map step did not converge; degenerate edge lengths?"
+                    )
+                if not self._route[i]:
+                    self._new_route(i, rng)
+                    if self._pause_left[i] > 0:
+                        consumed = min(self._pause_left[i], budget)
+                        self._pause_left[i] -= consumed
+                        budget -= consumed
+                        continue
+                tx, ty = self._route[i][0]
+                dist = math.hypot(tx - x, ty - y)
+                reach = speed * budget
+                if reach < dist:
+                    frac = reach / dist
+                    x += (tx - x) * frac
+                    y += (ty - y) * frac
+                    budget = 0.0
+                else:
+                    x, y = tx, ty
+                    budget -= dist / speed
+                    self._route[i].pop(0)
+            self._pos[i, 0] = x
+            self._pos[i, 1] = y

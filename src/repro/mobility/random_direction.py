@@ -1,0 +1,86 @@
+"""Random-direction mobility.
+
+Nodes pick a heading and travel until they hit the area boundary, optionally
+pause, then pick a new heading into the interior.  Unlike random-waypoint,
+the stationary node distribution is uniform (no center bias); included for
+the same reason as :mod:`repro.mobility.random_walk` (third mobility class
+covered by the exponential-intermeeting result [22]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+
+
+class RandomDirection(MobilityModel):
+    """Travel-to-boundary movement with redraw on wall contact."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float],
+        speed_range: tuple[float, float] = (2.0, 2.0),
+        pause_range: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        super().__init__(n_nodes, area)
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ConfigurationError(f"bad speed_range: {speed_range}")
+        plo, phi = pause_range
+        if not 0 <= plo <= phi:
+            raise ConfigurationError(f"bad pause_range: {pause_range}")
+        self.speed_range = (float(lo), float(hi))
+        self.pause_range = (float(plo), float(phi))
+
+    def _setup(self, rng: np.random.Generator) -> None:
+        n = self.n_nodes
+        self._pos = self._uniform_positions(rng)
+        self._heading = np.zeros(n)
+        self._speed = np.zeros(n)
+        self._pause_left = np.zeros(n)
+        self._redraw(np.arange(n))
+
+    def _redraw(self, idx: np.ndarray) -> None:
+        """New heading + speed for nodes at a wall (or at setup)."""
+        rng = self._rng
+        k = idx.size
+        self._heading[idx] = rng.uniform(0.0, 2.0 * np.pi, size=k)
+        lo, hi = self.speed_range
+        self._speed[idx] = lo if lo == hi else rng.uniform(lo, hi, size=k)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos
+
+    def _step(self, dt: float) -> None:
+        w, h = self.area
+        budget = np.full(self.n_nodes, dt)
+        paused = self._pause_left > 0
+        if paused.any():
+            consumed = np.minimum(self._pause_left[paused], budget[paused])
+            self._pause_left[paused] -= consumed
+            budget[paused] -= consumed
+        moving = budget > 1e-12
+        if not moving.any():
+            return
+        adv = self._speed * budget * moving
+        self._pos[:, 0] += np.cos(self._heading) * adv
+        self._pos[:, 1] += np.sin(self._heading) * adv
+        hit = (
+            (self._pos[:, 0] <= 0.0)
+            | (self._pos[:, 0] >= w)
+            | (self._pos[:, 1] <= 0.0)
+            | (self._pos[:, 1] >= h)
+        )
+        if hit.any():
+            # Clamp to the wall, pause, and head back into the interior.
+            self._pos[hit, 0] = np.clip(self._pos[hit, 0], 0.0, w)
+            self._pos[hit, 1] = np.clip(self._pos[hit, 1], 0.0, h)
+            idx = np.nonzero(hit)[0]
+            self._redraw(idx)
+            plo, phi = self.pause_range
+            if phi > 0:
+                self._pause_left[idx] = self._rng.uniform(plo, phi, size=idx.size)

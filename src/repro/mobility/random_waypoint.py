@@ -1,0 +1,36 @@
+"""Random-waypoint mobility (the paper's synthetic scenario).
+
+Each node repeatedly picks a uniform destination in the area and walks to it
+in a straight line ("selecting a destination randomly and walking along the
+shortest path to reach the destination", Sec. IV-A), at the paper's fixed
+speed of 2 m/s unless configured otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.mobility.base import WaypointEngine
+
+
+class RandomWaypoint(WaypointEngine):
+    """Uniform-destination waypoint movement.
+
+    Parameters
+    ----------
+    n_nodes, area:
+        Fleet size and (width, height) of the simulation area in meters.
+    speed_range:
+        Per-leg speed draw; the paper uses a constant 2 m/s, i.e.
+        ``(2.0, 2.0)``.
+    pause_range:
+        Pause at each waypoint; the paper's scenario moves continuously,
+        i.e. ``(0.0, 0.0)``.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float],
+        speed_range: tuple[float, float] = (2.0, 2.0),
+        pause_range: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        super().__init__(n_nodes, area, speed_range, pause_range)

@@ -1,0 +1,57 @@
+"""Stationary placement — nodes never move.
+
+Used by unit/integration tests to build exact topologies (e.g. two nodes in
+range, a chain, a disconnected pair) so routing behaviour can be asserted
+deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+
+
+class Stationary(MobilityModel):
+    """Fixed node positions.
+
+    Parameters
+    ----------
+    points:
+        Optional explicit ``(N, 2)`` coordinates.  When omitted, positions
+        are drawn uniformly at initialize time.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float],
+        points: np.ndarray | list[tuple[float, float]] | None = None,
+    ) -> None:
+        super().__init__(n_nodes, area)
+        if points is not None:
+            arr = np.asarray(points, dtype=float)
+            if arr.shape != (n_nodes, 2):
+                raise ConfigurationError(
+                    f"points must have shape ({n_nodes}, 2), got {arr.shape}"
+                )
+            self._fixed: np.ndarray | None = arr
+        else:
+            self._fixed = None
+
+    # Large steps are fine for motionless nodes.
+    max_step = float("inf")
+
+    def _setup(self, rng: np.random.Generator) -> None:
+        if self._fixed is not None:
+            self._pos = self._fixed.copy()
+        else:
+            self._pos = self._uniform_positions(rng)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos
+
+    def _step(self, dt: float) -> None:
+        pass

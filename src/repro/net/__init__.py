@@ -1,0 +1,36 @@
+"""Network stack: messages, buffers, transfers and traffic generation.
+
+* :class:`repro.net.message.Message` — a *copy* of a DTN message held by one
+  node, carrying the Spray-and-Wait copy token count and its spray history.
+* :class:`repro.net.buffer.MessageBuffer` — byte-exact capacity accounting.
+* :class:`repro.net.transfer.TransferManager` — bandwidth-limited,
+  abort-on-link-down message transfers.
+* :class:`repro.net.generator.MessageGenerator` — periodic random traffic as
+  in Table II/III of the paper.
+"""
+
+from repro.net.buffer import MessageBuffer
+from repro.net.generator import MessageGenerator, TrafficSpec
+from repro.net.message import Message
+from repro.net.outcomes import (
+    MODE_COPY,
+    MODE_DELIVERY,
+    MODE_MOVE,
+    MODE_SPLIT,
+    ReceiveOutcome,
+)
+from repro.net.transfer import Transfer, TransferManager
+
+__all__ = [
+    "MODE_COPY",
+    "MODE_DELIVERY",
+    "MODE_MOVE",
+    "MODE_SPLIT",
+    "Message",
+    "MessageBuffer",
+    "MessageGenerator",
+    "ReceiveOutcome",
+    "Transfer",
+    "TrafficSpec",
+    "TransferManager",
+]

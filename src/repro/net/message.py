@@ -1,0 +1,153 @@
+"""DTN message copies.
+
+A :class:`Message` instance represents one node's *copy* of a logical message
+(identified by :attr:`Message.msg_id`).  Copy-local state — the
+Spray-and-Wait token count :attr:`copies`, the :attr:`hop_count`, and the
+:attr:`spray_times` lineage used by SDSRP's :math:`m_i(T_i)` estimator
+(Eq. 15 / Fig. 6 of the paper) — lives on the instance; logical-message state
+(source, destination, size, TTL) is shared immutably by all copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Message:
+    """One node's copy of a DTN message.
+
+    Parameters mirror the paper's notation: ``initial_copies`` is :math:`C`,
+    :attr:`copies` is :math:`C_i`, ``ttl`` is :math:`TTL_i` (seconds),
+    :meth:`remaining_ttl` is :math:`R_i` and :meth:`elapsed` is :math:`T_i`.
+    """
+
+    msg_id: str
+    source: int
+    destination: int
+    size: int
+    created_at: float
+    ttl: float
+    initial_copies: int = 1
+    copies: int = 1
+    hop_count: int = 0
+    #: Simulation times at which this copy's lineage was binary-sprayed
+    #: (both sides of a split record the split time). Used by Eq. 15.
+    spray_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"message size must be positive: {self.size}")
+        if self.ttl <= 0:
+            raise ConfigurationError(f"message ttl must be positive: {self.ttl}")
+        if self.initial_copies < 1:
+            raise ConfigurationError(
+                f"initial_copies must be >= 1: {self.initial_copies}"
+            )
+        if not 1 <= self.copies <= self.initial_copies:
+            raise ConfigurationError(
+                f"copies must be in [1, {self.initial_copies}]: {self.copies}"
+            )
+        if self.source == self.destination:
+            raise ConfigurationError("source and destination must differ")
+
+    # -- paper notation helpers -------------------------------------------
+
+    def elapsed(self, now: float) -> float:
+        """:math:`T_i` — time since generation (clamped at 0)."""
+        return max(0.0, now - self.created_at)
+
+    def remaining_ttl(self, now: float) -> float:
+        """:math:`R_i` — remaining time to live (can be negative if expired)."""
+        return self.ttl - self.elapsed(now)
+
+    def expires_at(self) -> float:
+        """Absolute expiry time."""
+        return self.created_at + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        """True once the TTL has fully elapsed."""
+        return now >= self.expires_at()
+
+    @property
+    def can_spray(self) -> bool:
+        """True while this copy may still replicate (binary spray phase)."""
+        return self.copies > 1
+
+    # -- replication -------------------------------------------------------
+
+    def split_counts(self) -> tuple[int, int]:
+        """``(keep, give)`` token counts for a binary split.
+
+        The sender keeps ``ceil(copies/2)`` tokens and the peer receives
+        ``floor(copies/2)`` (Spyropoulos et al.'s binary mode).
+        """
+        if not self.can_spray:
+            raise ConfigurationError(
+                f"cannot split message {self.msg_id} with copies={self.copies}"
+            )
+        give = self.copies // 2
+        return self.copies - give, give
+
+    def split_child(self, now: float) -> "Message":
+        """Build (without committing) the copy a binary split hands the peer.
+
+        Pure: the sender copy is unchanged until :meth:`apply_split` is
+        called.  The two-phase protocol lets the receiver's drop policy
+        inspect the incoming copy and reject it without losing tokens.
+        Both lineages record the split time for the Eq. 15 infection-scope
+        estimate, and the peer copy's hop count increments.
+        """
+        _, give = self.split_counts()
+        return Message(
+            msg_id=self.msg_id,
+            source=self.source,
+            destination=self.destination,
+            size=self.size,
+            created_at=self.created_at,
+            ttl=self.ttl,
+            initial_copies=self.initial_copies,
+            copies=give,
+            hop_count=self.hop_count + 1,
+            spray_times=[*self.spray_times, now],
+        )
+
+    def apply_split(self, now: float) -> None:
+        """Commit a binary split on the sender side (keep ``ceil(copies/2)``)."""
+        keep, _ = self.split_counts()
+        self.copies = keep
+        self.spray_times.append(now)
+
+    def split(self, now: float) -> "Message":
+        """Convenience: :meth:`split_child` + :meth:`apply_split` in one step."""
+        child = self.split_child(now)
+        self.apply_split(now)
+        return child
+
+    def forward_clone(self, now: float) -> "Message":
+        """Clone for a non-splitting forward (direct delivery / wait phase).
+
+        The receiving side gets the full remaining token count; used when the
+        peer is the destination (delivery) or by routers without copy limits
+        (Epidemic), where ``copies`` stays 1.
+        """
+        return Message(
+            msg_id=self.msg_id,
+            source=self.source,
+            destination=self.destination,
+            size=self.size,
+            created_at=self.created_at,
+            ttl=self.ttl,
+            initial_copies=self.initial_copies,
+            copies=self.copies,
+            hop_count=self.hop_count + 1,
+            spray_times=list(self.spray_times),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message {self.msg_id} {self.source}->{self.destination} "
+            f"C={self.copies}/{self.initial_copies} hops={self.hop_count}>"
+        )

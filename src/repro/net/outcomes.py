@@ -1,0 +1,30 @@
+"""Message-exchange vocabulary shared by the transfer and routing layers.
+
+Lives in its own import-free module so :mod:`repro.net.transfer` and
+:mod:`repro.routing.base` can both depend on it without a cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReceiveOutcome(enum.Enum):
+    """Result of offering a message copy to a node."""
+
+    ACCEPTED = "accepted"
+    DELIVERED = "delivered"
+    DUPLICATE = "duplicate"
+    ALREADY_DELIVERED = "already_delivered"
+    REJECTED_POLICY = "rejected_policy"  # e.g. in the node's dropped list
+    REJECTED_OVERFLOW = "rejected_overflow"  # newcomer lost the drop decision
+    EXPIRED = "expired"
+
+
+#: Transfer modes: how the sender-side copy is treated on completion.
+MODE_SPLIT = "split"  # binary spray: sender halves its tokens
+MODE_COPY = "copy"  # replicate without token accounting (Epidemic)
+MODE_MOVE = "move"  # forward: sender deletes its copy (First Contact/Focus)
+MODE_DELIVERY = "delivery"  # peer is the destination; sender deletes
+
+ALL_MODES = (MODE_SPLIT, MODE_COPY, MODE_MOVE, MODE_DELIVERY)

@@ -1,0 +1,22 @@
+"""Spray-and-Wait-C: copies-ratio priority.
+
+The paper's third baseline "treats the ratio between the current message
+copies number and initial copies number as the priority" (Sec. IV-A):
+copies-rich messages are sent first (they need more spray opportunities) and
+copies-poor ones are dropped first.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.policies.base import StaticRankPolicy
+
+
+class CopiesRatioPolicy(StaticRankPolicy):
+    """Priority = C_i / C (in (0, 1])."""
+
+    name = "snw-c"
+    compare_newcomer = True
+
+    def priority(self, message: Message, now: float) -> float:
+        return message.copies / message.initial_copies

@@ -1,0 +1,46 @@
+"""FIFO policy — plain Spray-and-Wait's buffer behaviour.
+
+The paper's "Spray and Wait" baseline "adopts the FIFO (first in first out)
+buffer management strategy" (Sec. IV-A): messages are offered in arrival
+order and, on overflow, the oldest-received message is dropped to make room
+(ONE's default ``makeRoomForMessage``).  The newcomer is never rejected
+(``compare_newcomer = False``).
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.policies.base import BufferPolicy
+
+
+class FifoPolicy(BufferPolicy):
+    """Send oldest-arrived first; drop oldest-arrived first."""
+
+    name = "fifo"
+    compare_newcomer = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._arrival: dict[str, int] = {}
+        self._counter = 0
+
+    def _order(self, message: Message) -> int:
+        # Messages created locally before attach/add hooks fire still get a
+        # stable order: first time we see an id, assign the next counter.
+        if message.msg_id not in self._arrival:
+            self._arrival[message.msg_id] = self._counter
+            self._counter += 1
+        return self._arrival[message.msg_id]
+
+    def send_priority(self, message: Message, now: float) -> float:
+        return -float(self._order(message))
+
+    def drop_priority(self, message: Message, now: float) -> float:
+        return float(self._order(message))
+
+    def on_message_added(self, message: Message, now: float) -> None:
+        self._order(message)
+
+    def on_message_dropped(self, message: Message, now: float, reason: str) -> None:
+        # Forget the slot so a later re-arrival is treated as new.
+        self._arrival.pop(message.msg_id, None)

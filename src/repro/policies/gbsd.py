@@ -1,0 +1,46 @@
+"""GBSD-style utility policy (Krifa & Barakat [15-17]) — related work.
+
+The paper positions SDSRP against the Global-knowledge-Based Scheduling and
+Drop family, which targets *Epidemic* routing: the per-message delivery-rate
+utility there is :math:`(1 - m_i/(N-1))\\,\\lambda R_i e^{-\\lambda n_i R_i}`
+— exactly SDSRP's Eq. 10 with the copy-limit term removed (an unlimited-
+replication message behaves like :math:`C_i = 1` in the exponent
+coefficient, where :math:`\\log_2 C_i = 0` kills the spray penalty).
+
+Implemented by reusing the SDSRP estimator machinery with the copies term
+neutralized, so the paper's "their strategies are only appropriate for
+Epidemic routing" comparison is actually runnable: pair ``gbsd`` with the
+``epidemic`` router (its intended home) or with Spray-and-Wait (where
+ignoring C_i loses information — measurable in the extended benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro.core import params as P
+from repro.core.priority import (
+    p_delivered,
+    p_remaining,
+    priority_closed_form,
+    priority_taylor,
+)
+from repro.core.sdsrp import SdsrpPolicy
+from repro.net.message import Message
+
+
+class GbsdPolicy(SdsrpPolicy):
+    """Epidemic-style delivery-rate utility (copies term ignored)."""
+
+    name = "gbsd"
+    compare_newcomer = True
+
+    def priority(self, message: Message, now: float) -> float:
+        m, n = self._infection(message, now)
+        lam = self._lambda()
+        r = message.remaining_ttl(now)
+        if self.params.priority_form == P.FORM_CLOSED:
+            # copies=1 zeroes the spray-penalty/copy terms of Eq. 10,
+            # leaving Krifa & Barakat's utility.
+            return float(priority_closed_form(1, r, m, n, lam, self._n_nodes))
+        pt = p_delivered(m, self._n_nodes)
+        pr = p_remaining(1, r, n, lam, self._n_nodes)
+        return float(priority_taylor(pt, pr, n, terms=self.params.taylor_terms))

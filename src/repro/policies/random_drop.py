@@ -1,0 +1,46 @@
+"""Random policy — uniformly random scheduling and drop order.
+
+The null baseline: any policy that matters should beat it.  The paper argues
+Spray-and-Wait-C degenerates to this when the initial copy count is small
+(Sec. IV-B-1); the extended benchmarks make that comparison explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.message import Message
+from repro.policies.base import BufferPolicy, PolicyContext
+
+
+class RandomPolicy(BufferPolicy):
+    """Priorities are per-message uniform draws, fixed at first sight."""
+
+    name = "random"
+    compare_newcomer = True
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = np.random.default_rng(seed)
+        self._scores: dict[str, float] = {}
+
+    def attach(self, ctx: PolicyContext) -> None:
+        super().attach(ctx)
+        # Distinct stream per node so fleets don't share draw sequences.
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=ctx.node.id, spawn_key=(0xA11CE,))
+        )
+
+    def _score(self, message: Message) -> float:
+        if message.msg_id not in self._scores:
+            self._scores[message.msg_id] = float(self._rng.random())
+        return self._scores[message.msg_id]
+
+    def send_priority(self, message: Message, now: float) -> float:
+        return self._score(message)
+
+    def drop_priority(self, message: Message, now: float) -> float:
+        return self._score(message)
+
+    def on_message_dropped(self, message: Message, now: float, reason: str) -> None:
+        self._scores.pop(message.msg_id, None)

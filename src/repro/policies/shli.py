@@ -1,0 +1,23 @@
+"""SHLI — "evict shortest life time first" (Lindgren & Phanse [9]).
+
+The message closest to TTL expiry is dropped first (it has the least chance
+left of delivery).  Equivalent to ranking by absolute remaining TTL — the
+difference from Spray-and-Wait-O is the normalization (absolute seconds
+vs. ratio), which only matters for heterogeneous-TTL traffic; both are
+provided so that ablation is runnable.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.policies.base import StaticRankPolicy
+
+
+class ShliPolicy(StaticRankPolicy):
+    """Priority = absolute remaining TTL (seconds)."""
+
+    name = "shli"
+    compare_newcomer = True
+
+    def priority(self, message: Message, now: float) -> float:
+        return message.remaining_ttl(now)

@@ -1,0 +1,22 @@
+"""Spray-and-Wait-O: remaining-TTL-ratio priority.
+
+The paper's second baseline "regards the ratio between the remaining TTL and
+initial TTL as the priority" (Sec. IV-A): fresher messages are sent first and
+stale ones are dropped first.  The newcomer competes (it usually wins, having
+the largest remaining-TTL ratio in the buffer).
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.policies.base import StaticRankPolicy
+
+
+class TtlRatioPolicy(StaticRankPolicy):
+    """Priority = R_i / TTL_i (in [<=1]; negative once expired)."""
+
+    name = "snw-o"
+    compare_newcomer = True
+
+    def priority(self, message: Message, now: float) -> float:
+        return message.remaining_ttl(now) / message.ttl

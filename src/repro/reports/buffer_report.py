@@ -1,0 +1,50 @@
+"""Buffer occupancy over time.
+
+Samples every node's buffer occupancy on a fixed cadence and tallies drops;
+used by the congestion examples and the buffer-sweep sanity checks (higher
+congestion ⇒ higher mean occupancy ⇒ more overflow drops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+from repro.world.node import Node
+
+
+class BufferReport:
+    """Periodic fleet-wide occupancy sampling."""
+
+    def __init__(self, nodes: list[Node], sample_interval: float = 60.0) -> None:
+        self.nodes = nodes
+        self.sample_interval = float(sample_interval)
+        self._times: list[float] = []
+        self._mean_occupancy: list[float] = []
+        self._max_occupancy: list[float] = []
+
+    def subscribe(self, sim: Simulator) -> None:
+        """Register the recurring sampling event."""
+        sim.schedule_every(self.sample_interval, self._sample, sim)
+
+    def _sample(self, sim: Simulator) -> None:
+        occ = np.array([node.buffer.occupancy() for node in self.nodes])
+        self._times.append(sim.now)
+        self._mean_occupancy.append(float(occ.mean()))
+        self._max_occupancy.append(float(occ.max()))
+
+    # -- results -----------------------------------------------------------
+
+    def series(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, mean occupancy, max occupancy) arrays."""
+        return (
+            np.asarray(self._times),
+            np.asarray(self._mean_occupancy),
+            np.asarray(self._max_occupancy),
+        )
+
+    def mean_occupancy(self) -> float:
+        """Time-averaged fleet-mean occupancy (nan with no samples)."""
+        if not self._mean_occupancy:
+            return float("nan")
+        return float(np.mean(self._mean_occupancy))

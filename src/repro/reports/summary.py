@@ -1,0 +1,57 @@
+"""One run's results as a plain record (sweep rows, table printing)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline metrics of a single simulation run."""
+
+    scenario: str
+    policy: str
+    seed: int
+    sim_time: float
+    # workload knobs the paper sweeps:
+    initial_copies: int
+    buffer_bytes: int
+    interval_range: tuple[float, float]
+    # outcomes:
+    created: int
+    delivered: int
+    relayed: int
+    delivery_ratio: float
+    average_hopcount: float
+    overhead_ratio: float
+    average_latency: float
+    drops: dict[str, int] = field(default_factory=dict)
+    contacts: int = 0
+    mean_intermeeting: float = float("nan")
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict (drops expanded as ``drop_<reason>`` keys)."""
+        out = asdict(self)
+        drops = out.pop("drops")
+        for reason, count in drops.items():
+            out[f"drop_{reason}"] = count
+        return out
+
+    @staticmethod
+    def table_header() -> str:
+        return (
+            f"{'policy':<12} {'L':>4} {'buffer':>10} {'rate':>10} "
+            f"{'deliv':>7} {'hops':>6} {'ovh':>7} {'created':>8}"
+        )
+
+    def table_row(self) -> str:
+        lo, hi = self.interval_range
+        return (
+            f"{self.policy:<12} {self.initial_copies:>4} "
+            f"{self.buffer_bytes / (1024 * 1024):>8.1f}MB "
+            f"{f'[{lo:.0f},{hi:.0f}]':>10} "
+            f"{self.delivery_ratio:>7.3f} {self.average_hopcount:>6.2f} "
+            f"{self.overhead_ratio:>7.2f} {self.created:>8}"
+        )

@@ -1,0 +1,44 @@
+"""Radio interface model.
+
+Matches the paper's setup: a fixed transmission range (link exists whenever
+two nodes are within the smaller of their ranges) and a fixed transmit speed.
+A transfer between two nodes runs at the slower of the two radios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Radio:
+    """Radio parameters for one node.
+
+    Parameters
+    ----------
+    range_m:
+        Transmission range in meters (paper: 100 m).
+    bandwidth_Bps:
+        Transmit speed in bytes/second (paper: 250 kbit/s = 31 250 B/s).
+    """
+
+    range_m: float
+    bandwidth_Bps: float
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0:
+            raise ConfigurationError(f"radio range must be positive: {self.range_m}")
+        if self.bandwidth_Bps <= 0:
+            raise ConfigurationError(
+                f"radio bandwidth must be positive: {self.bandwidth_Bps}"
+            )
+
+    def link_bandwidth(self, other: "Radio") -> float:
+        """Effective transfer bandwidth to a peer radio (the slower side)."""
+        return min(self.bandwidth_Bps, other.bandwidth_Bps)
+
+    def transfer_time(self, size_bytes: int, other: "Radio") -> float:
+        """Seconds needed to push *size_bytes* to a peer radio."""
+        return size_bytes / self.link_bandwidth(other)

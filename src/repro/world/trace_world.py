@@ -1,0 +1,104 @@
+"""Contact-trace-driven world: replay connectivity without mobility.
+
+Given a recorded :class:`~repro.traces.contact_trace.ContactTrace`, this
+world schedules the exact same link transitions as events — no positions, no
+detector.  Uses:
+
+* **regression**: a run replayed from its own recorded trace produces
+  byte-identical message metrics (tested in
+  ``tests/world/test_trace_world.py``);
+* **real contact datasets**: many DTN traces are published as contact lists
+  rather than GPS logs; this is the entry point for them;
+* **speed**: replay skips the mobility + detection cost entirely.
+"""
+
+from __future__ import annotations
+
+from repro.engine.events import PRIORITY_WORLD
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.transfer import TransferManager
+from repro.traces.contact_trace import ContactTrace
+from repro.world.node import Node
+
+
+class TraceWorld:
+    """Link lifecycle driven by a contact trace instead of movement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: list[Node],
+        transfer_manager: TransferManager,
+        trace: ContactTrace,
+        tick: float = 1.0,
+    ) -> None:
+        if sorted(n.id for n in nodes) != list(range(len(nodes))):
+            raise ConfigurationError("node ids must be 0..N-1 (dense)")
+        if tick <= 0:
+            raise ConfigurationError(f"tick must be positive: {tick}")
+        max_id = max((max(e.a, e.b) for e in trace.events), default=-1)
+        if max_id >= len(nodes):
+            raise ConfigurationError(
+                f"trace references node {max_id}, only {len(nodes)} nodes"
+            )
+        self.sim = sim
+        self.nodes = sorted(nodes, key=lambda n: n.id)
+        self.transfer_manager = transfer_manager
+        self.trace = trace
+        self.tick = float(tick)
+        self.links: set[tuple[int, int]] = set()
+
+    def start(self) -> None:
+        """Schedule every trace event plus the recurring maintenance tick."""
+        for event in self.trace.events:
+            if event.time > self.sim.end_time:
+                break
+            self.sim.schedule_at(
+                event.time,
+                self._apply,
+                event.a,
+                event.b,
+                event.up,
+                priority=PRIORITY_WORLD,
+            )
+        self.sim.schedule_every(self.tick, self._maintain, priority=PRIORITY_WORLD)
+
+    # -- event application ---------------------------------------------------
+
+    def _apply(self, a_id: int, b_id: int, up: bool) -> None:
+        a, b = self.nodes[a_id], self.nodes[b_id]
+        key = (min(a_id, b_id), max(a_id, b_id))
+        if up:
+            if key in self.links:
+                return  # idempotent against duplicate trace lines
+            self.links.add(key)
+            a.neighbors[b.id] = b
+            b.neighbors[a.id] = a
+            self.sim.listeners.emit("link.up", a, b)
+            if a.router is not None:
+                a.router.on_link_up(b)
+            if b.router is not None:
+                b.router.on_link_up(a)
+        else:
+            if key not in self.links:
+                return
+            self.links.discard(key)
+            a.neighbors.pop(b.id, None)
+            b.neighbors.pop(a.id, None)
+            self.transfer_manager.abort_for_link(a, b)
+            self.sim.listeners.emit("link.down", a, b)
+            if a.router is not None:
+                a.router.on_link_down(b)
+            if b.router is not None:
+                b.router.on_link_down(a)
+
+    def _maintain(self) -> None:
+        """TTL purge + idle-sender retry (the tick half of World.update)."""
+        for node in self.nodes:
+            if node.router is not None:
+                node.router.purge_expired()
+        self.sim.listeners.emit("world.updated", self.sim.now)
+        for node in self.nodes:
+            if node.router is not None and not node.sending and node.neighbors:
+                node.router.try_send()

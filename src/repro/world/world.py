@@ -1,0 +1,134 @@
+"""The world: time-stepped movement + connectivity, event-driven messaging.
+
+Each tick (default 1 s, matching the granularity ONE uses for the paper's
+scenarios) the world advances the mobility model, recomputes the link set
+with the contact detector, fires ``link.down`` (aborting in-flight
+transfers) and ``link.up`` events, purges expired messages, and gives idle
+routers a chance to start transfers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.events import PRIORITY_WORLD
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.net.transfer import TransferManager
+from repro.world.contacts import ContactDetector, make_detector
+from repro.world.node import Node
+
+
+class World:
+    """Owns nodes, positions and the link set."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobility: MobilityModel,
+        nodes: list[Node],
+        transfer_manager: TransferManager,
+        detector: ContactDetector | None = None,
+        tick: float = 1.0,
+    ) -> None:
+        if len(nodes) != mobility.n_nodes:
+            raise ConfigurationError(
+                f"{len(nodes)} nodes but mobility drives {mobility.n_nodes}"
+            )
+        if tick <= 0:
+            raise ConfigurationError(f"tick must be positive: {tick}")
+        if sorted(n.id for n in nodes) != list(range(len(nodes))):
+            raise ConfigurationError("node ids must be 0..N-1 (dense)")
+        self.sim = sim
+        self.mobility = mobility
+        self.nodes = sorted(nodes, key=lambda n: n.id)
+        self.transfer_manager = transfer_manager
+        self.detector = detector or make_detector(len(nodes))
+        self.tick = float(tick)
+        self.links: set[tuple[int, int]] = set()
+        self.positions = np.zeros((len(nodes), 2))
+        self._ranges = np.array([n.radio.range_m for n in self.nodes])
+        self._max_range = float(self._ranges.max())
+        self._uniform_range = bool(np.all(self._ranges == self._ranges[0]))
+        for node in self.nodes:
+            node.attach_world(self)
+
+    def start(self, rng: np.random.Generator) -> None:
+        """Initialize mobility and register the recurring update event."""
+        self.mobility.initialize(rng)
+        self.positions = self.mobility.advance(0.0)
+        self.sim.schedule_every(
+            self.tick, self.update, priority=PRIORITY_WORLD, start=self.sim.now
+        )
+
+    # -- the tick ----------------------------------------------------------
+
+    def update(self) -> None:
+        """One world step: move, rewire links, purge TTLs, kick senders."""
+        now = self.sim.now
+        self.positions = self.mobility.advance(now)
+        new_links = self.detector.pairs(self.positions, self._max_range)
+        if not self._uniform_range:
+            new_links = self._filter_heterogeneous(new_links)
+
+        for i, j in self.links - new_links:
+            self._link_down(self.nodes[i], self.nodes[j])
+        for i, j in sorted(new_links - self.links):
+            self._link_up(self.nodes[i], self.nodes[j])
+        self.links = new_links
+
+        for node in self.nodes:
+            if node.router is not None:
+                node.router.purge_expired()
+        self.sim.listeners.emit("world.updated", now)
+        # Idle senders retry: new eligibility can appear without a link
+        # event (e.g. a neighbor dropped its copy of a message we hold).
+        for node in self.nodes:
+            if node.router is not None and not node.sending and node.neighbors:
+                node.router.try_send()
+
+    def _filter_heterogeneous(
+        self, pairs: set[tuple[int, int]]
+    ) -> set[tuple[int, int]]:
+        """Keep pairs within the *smaller* of the two nodes' radio ranges."""
+        keep: set[tuple[int, int]] = set()
+        for i, j in pairs:
+            limit = min(self._ranges[i], self._ranges[j])
+            diff = self.positions[i] - self.positions[j]
+            if float(diff @ diff) <= limit * limit:
+                keep.add((i, j))
+        return keep
+
+    # -- link transitions ---------------------------------------------------
+
+    def _link_up(self, a: Node, b: Node) -> None:
+        a.neighbors[b.id] = b
+        b.neighbors[a.id] = a
+        self.sim.listeners.emit("link.up", a, b)
+        if a.router is not None:
+            a.router.on_link_up(b)
+        if b.router is not None:
+            b.router.on_link_up(a)
+
+    def _link_down(self, a: Node, b: Node) -> None:
+        # Neighbor sets first: the aborted sender immediately retries other
+        # links and must not re-select the one that just died.
+        a.neighbors.pop(b.id, None)
+        b.neighbors.pop(a.id, None)
+        self.transfer_manager.abort_for_link(a, b)
+        self.sim.listeners.emit("link.down", a, b)
+        if a.router is not None:
+            a.router.on_link_down(b)
+        if b.router is not None:
+            b.router.on_link_down(a)
+
+    # -- convenience -------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Node by id."""
+        return self.nodes[node_id]
+
+    def connected_pairs(self) -> set[tuple[int, int]]:
+        """Current link set as (i, j) with i < j."""
+        return set(self.links)

@@ -1,0 +1,52 @@
+"""Fig. 4 curve analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.taylor import (
+    PEAK_P_R,
+    peak_location,
+    priority_curve,
+    taylor_convergence,
+)
+from repro.errors import ConfigurationError
+
+
+def test_priority_curve_contains_requested_series():
+    curves = priority_curve(taylor_term_counts=(1, 3))
+    assert set(curves) == {"p_r", "ideal", "taylor_k1", "taylor_k3"}
+    assert curves["ideal"].shape == curves["p_r"].shape
+
+
+def test_ideal_peak_at_1_minus_1_over_e():
+    curves = priority_curve(p_r=np.linspace(0, 0.999, 5001))
+    peak = peak_location(curves["p_r"], curves["ideal"])
+    assert peak == pytest.approx(PEAK_P_R, abs=1e-3)
+
+
+def test_truncations_below_ideal():
+    curves = priority_curve()
+    for key in ("taylor_k1", "taylor_k2", "taylor_k4", "taylor_k8"):
+        if key in curves:
+            assert np.all(curves[key] <= curves["ideal"] + 1e-12)
+
+
+def test_convergence_errors_decrease():
+    errors = taylor_convergence(max_terms=24)
+    vals = [errors[k] for k in sorted(errors)]
+    assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+    # Convergence is slow near p_r -> 1 (the grid tops out at 0.99), so a
+    # modest reduction is all 24 terms buy on the max-norm.
+    assert vals[-1] < 0.1 * vals[0]
+
+
+def test_peak_location_validation():
+    with pytest.raises(ConfigurationError):
+        peak_location(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_convergence_validation():
+    with pytest.raises(ConfigurationError):
+        taylor_convergence(max_terms=0)

@@ -1,0 +1,14 @@
+"""Shared pytest configuration."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise simulation code whose first call may be slow
+# (numpy warm-up); relax the per-example deadline accordingly.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

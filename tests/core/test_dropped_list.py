@@ -1,0 +1,135 @@
+"""Dropped-list gossip (Fig. 5): LWW merge semantics and properties."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dropped_list import DroppedListStore
+
+
+def store_with_drops(node_id: int, drops: list[tuple[str, float]]) -> DroppedListStore:
+    s = DroppedListStore(node_id)
+    for msg_id, t in drops:
+        s.record_drop(msg_id, now=t, expires_at=t + 1000.0)
+    return s
+
+
+class TestLocalRecord:
+    def test_record_and_query(self):
+        s = store_with_drops(0, [("M1", 5.0)])
+        assert s.has_dropped("M1")
+        assert not s.has_dropped("M2")
+        assert s.count_drops("M1") == 1
+
+    def test_record_time_tracks_latest_drop(self):
+        s = DroppedListStore(0)
+        s.record_drop("M1", now=5.0, expires_at=100.0)
+        s.record_drop("M2", now=9.0, expires_at=100.0)
+        assert s.known_records()[0].record_time == 9.0
+
+
+class TestMerge:
+    def test_merge_adopts_unknown_records(self):
+        a = store_with_drops(0, [("M1", 5.0)])
+        b = store_with_drops(1, [("M1", 3.0), ("M2", 4.0)])
+        a.merge_from(b)
+        assert a.count_drops("M1") == 2
+        assert a.count_drops("M2") == 1
+        assert a.seen_by_any("M2")
+        assert not a.has_dropped("M2")  # own record untouched
+
+    def test_merge_keeps_newer_record(self):
+        a = DroppedListStore(0)
+        b = store_with_drops(1, [("M1", 3.0)])
+        a.merge_from(b)
+        # b drops another message later; re-merge must refresh.
+        b.record_drop("M2", now=10.0, expires_at=100.0)
+        a.merge_from(b)
+        assert a.count_drops("M2") == 1
+
+    def test_merge_does_not_regress_to_older_record(self):
+        a = DroppedListStore(0)
+        b_new = store_with_drops(1, [("M1", 3.0), ("M2", 8.0)])
+        b_old = store_with_drops(1, [("M1", 3.0)])
+        a.merge_from(b_new)
+        a.merge_from(b_old)  # stale copy of node 1's record
+        assert a.count_drops("M2") == 1
+
+    def test_own_record_is_authoritative(self):
+        a = store_with_drops(0, [("M1", 5.0)])
+        fake = DroppedListStore(1)
+        fake._records[0] = store_with_drops(0, [("BAD", 99.0)])._own
+        a.merge_from(fake)
+        assert not a.has_dropped("BAD")
+
+    def test_transitive_propagation(self):
+        a = store_with_drops(0, [("M1", 1.0)])
+        b = DroppedListStore(1)
+        c = DroppedListStore(2)
+        b.merge_from(a)
+        c.merge_from(b)  # c never met a
+        assert c.count_drops("M1") == 1
+
+
+class TestMergeProperties:
+    drops = st.lists(
+        st.tuples(st.sampled_from(["M1", "M2", "M3"]),
+                  st.floats(min_value=0, max_value=100)),
+        max_size=5,
+    )
+
+    @given(drops, drops)
+    def test_merge_commutative(self, da, db):
+        msg_ids = {"M1", "M2", "M3"}
+        a1, b1 = store_with_drops(0, da), store_with_drops(1, db)
+        a2, b2 = store_with_drops(0, da), store_with_drops(1, db)
+        a1.merge_from(b1)
+        b2.merge_from(a2)
+        for mid in msg_ids:
+            assert a1.count_drops(mid) == b2.count_drops(mid)
+
+    @given(drops, drops)
+    def test_merge_idempotent(self, da, db):
+        a, b = store_with_drops(0, da), store_with_drops(1, db)
+        a.merge_from(b)
+        counts = {m: a.count_drops(m) for m in ("M1", "M2", "M3")}
+        a.merge_from(b)
+        assert counts == {m: a.count_drops(m) for m in ("M1", "M2", "M3")}
+
+    @given(drops, drops, drops)
+    def test_merge_associative_effect(self, da, db, dc):
+        """(a<-b)<-c equals a<-(b<-c) in observable drop counts."""
+        a1, b1, c1 = (store_with_drops(i, d) for i, d in enumerate((da, db, dc)))
+        a1.merge_from(b1)
+        a1.merge_from(c1)
+        a2, b2, c2 = (store_with_drops(i, d) for i, d in enumerate((da, db, dc)))
+        b2.merge_from(c2)
+        a2.merge_from(b2)
+        for mid in ("M1", "M2", "M3"):
+            assert a1.count_drops(mid) == a2.count_drops(mid)
+
+
+class TestPrune:
+    def test_prune_removes_expired_entries(self):
+        s = DroppedListStore(0)
+        s.record_drop("old", now=0.0, expires_at=10.0)
+        s.record_drop("new", now=0.0, expires_at=1000.0)
+        assert s.prune(now=50.0) == 1
+        assert not s.has_dropped("old")
+        assert s.has_dropped("new")
+
+    def test_prune_applies_to_merged_records(self):
+        a = DroppedListStore(0)
+        b = DroppedListStore(1)
+        b.record_drop("old", now=0.0, expires_at=10.0)
+        a.merge_from(b)
+        assert a.count_drops("old") == 1
+        a.prune(now=50.0)
+        assert a.count_drops("old") == 0
+
+    def test_len_counts_all_entries(self):
+        a = store_with_drops(0, [("M1", 1.0), ("M2", 2.0)])
+        b = store_with_drops(1, [("M1", 3.0)])
+        a.merge_from(b)
+        assert len(a) == 3

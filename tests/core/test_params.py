@@ -1,0 +1,39 @@
+"""SdsrpParams validation."""
+
+import pytest
+
+from repro.core.params import SdsrpParams
+from repro.errors import ConfigurationError
+
+
+def test_defaults_are_paper_faithful():
+    p = SdsrpParams()
+    assert p.estimator == "distributed"
+    assert p.priority_form == "closed"
+    assert p.intermeeting_mode == "min"
+    assert p.reject_rule == "own"
+    assert p.gossip_drops is True
+    assert p.extrapolate_spray_tree is False
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"estimator": "psychic"},
+        {"priority_form": "cubic"},
+        {"taylor_terms": 0},
+        {"prior_intermeeting": 0.0},
+        {"prior_weight": 0},
+        {"reject_rule": "sometimes"},
+        {"intermeeting_mode": "vibes"},
+    ],
+)
+def test_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        SdsrpParams(**kwargs)
+
+
+def test_frozen():
+    p = SdsrpParams()
+    with pytest.raises(AttributeError):
+        p.taylor_terms = 3  # type: ignore[misc]

@@ -1,0 +1,115 @@
+"""Eq. 15 infection-scope estimation (Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.spray_tree import estimate_infected
+from repro.errors import ConfigurationError
+
+E_MIN = 100.0  # E(I_min)
+N = 100
+
+
+class TestPaperFormula:
+    def test_source_without_sprays_knows_nothing(self):
+        assert estimate_infected([], now=500.0, mean_min_intermeeting=E_MIN,
+                                 n_nodes=N) == 0
+
+    def test_single_fresh_spray_counts_one(self):
+        # Evaluated at the spray instant: exponent 0 -> one infected node.
+        assert estimate_infected([100.0], now=100.0,
+                                 mean_min_intermeeting=E_MIN, n_nodes=N) == 1
+
+    def test_fig6_example(self):
+        """Fig. 6: sprays at t0..t3, evaluated at t3.
+
+        m = 2^((t3-t0)/E) + 2^((t3-t1)/E) + 2^((t3-t2)/E) + 1.
+        With t = 0, 100, 200, 300 and E = 100: 8 + 4 + 2 + 1 = 15.
+        """
+        sprays = [0.0, 100.0, 200.0, 300.0]
+        assert estimate_infected(sprays, now=300.0,
+                                 mean_min_intermeeting=E_MIN, n_nodes=N) == 15
+
+    def test_reference_is_latest_spray_not_now(self):
+        """The estimate freezes between sprays (the paper's t_n reference)."""
+        sprays = [0.0, 100.0]
+        at_spray = estimate_infected(sprays, now=100.0,
+                                     mean_min_intermeeting=E_MIN, n_nodes=N)
+        much_later = estimate_infected(sprays, now=10_000.0,
+                                       mean_min_intermeeting=E_MIN, n_nodes=N)
+        assert at_spray == much_later == 3  # 2^1 + 2^0
+
+    def test_extrapolate_mode_grows_with_time(self):
+        sprays = [0.0, 100.0]
+        later = estimate_infected(sprays, now=500.0,
+                                  mean_min_intermeeting=E_MIN, n_nodes=N,
+                                  extrapolate=True)
+        assert later > 3
+
+    def test_floor_semantics(self):
+        # t_n - t_k = 250 with E = 100 -> floor 2 -> 2^2 = 4, plus 2^0.
+        assert estimate_infected([0.0, 250.0], now=250.0,
+                                 mean_min_intermeeting=E_MIN, n_nodes=N) == 5
+
+
+class TestClamping:
+    def test_saturates_at_fleet_size(self):
+        sprays = [0.0, 10_000.0]  # huge gap -> astronomically many branches
+        assert estimate_infected(sprays, now=10_000.0,
+                                 mean_min_intermeeting=E_MIN, n_nodes=N) == N - 1
+
+    def test_at_least_one_node_per_spray(self):
+        # Many sprays in a burst: exponentially each contributes 1, and the
+        # floor guarantees >= number of spray events.
+        sprays = [100.0] * 5
+        assert estimate_infected(sprays, now=100.0,
+                                 mean_min_intermeeting=E_MIN, n_nodes=N) == 5
+
+    def test_no_overflow_for_ancient_sprays(self):
+        est = estimate_infected([0.0, 1e15], now=1e15,
+                                mean_min_intermeeting=1e-3, n_nodes=N,
+                                extrapolate=True)
+        assert est == N - 1
+
+
+class TestValidation:
+    def test_bad_e_min(self):
+        with pytest.raises(ConfigurationError):
+            estimate_infected([0.0], now=1.0, mean_min_intermeeting=0.0,
+                              n_nodes=N)
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            estimate_infected([0.0], now=1.0, mean_min_intermeeting=1.0,
+                              n_nodes=1)
+
+    def test_future_spray_time(self):
+        with pytest.raises(ConfigurationError):
+            estimate_infected([100.0], now=50.0, mean_min_intermeeting=1.0,
+                              n_nodes=N)
+
+
+class TestProperties:
+    spray_lists = st.lists(
+        st.floats(min_value=0, max_value=10_000), min_size=1, max_size=12
+    )
+
+    @given(spray_lists)
+    def test_bounds(self, sprays):
+        now = max(sprays)
+        m = estimate_infected(sprays, now=now, mean_min_intermeeting=E_MIN,
+                              n_nodes=N)
+        assert len(sprays) <= m <= N - 1
+
+    @given(spray_lists, st.floats(min_value=10.0, max_value=1e4))
+    def test_monotone_in_e_min(self, sprays, e_min):
+        """A slower spray cadence (larger E(I_min)) means fewer estimated nodes."""
+        now = max(sprays)
+        fast = estimate_infected(sprays, now=now,
+                                 mean_min_intermeeting=e_min, n_nodes=N)
+        slow = estimate_infected(sprays, now=now,
+                                 mean_min_intermeeting=e_min * 2, n_nodes=N)
+        assert slow <= fast

@@ -1,0 +1,25 @@
+"""Clock monotonicity."""
+
+import pytest
+
+from repro.engine.clock import Clock
+from repro.errors import SimulationError
+
+
+def test_starts_at_given_time():
+    assert Clock().now == 0.0
+    assert Clock(5.5).now == 5.5
+
+
+def test_advances_forward():
+    clock = Clock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+    clock.advance_to(10.0)  # same time is allowed
+    assert clock.now == 10.0
+
+
+def test_rejects_backwards_motion():
+    clock = Clock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.999)

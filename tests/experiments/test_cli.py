@@ -1,0 +1,78 @@
+"""CLI smoke tests (argument parsing + tiny executions)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.figures as F
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def micro_reduction(monkeypatch):
+    monkeypatch.setattr(F, "REDUCED_NODE_FACTOR", 0.08)
+    monkeypatch.setattr(F, "REDUCED_TIME_FACTOR", 0.04)
+    monkeypatch.setattr(F, "REDUCED_COPIES", (16, 32))
+    monkeypatch.setattr(F, "REDUCED_BUFFERS_MB", (2.0, 4.0))
+    monkeypatch.setattr(F, "REDUCED_RATES", ((10.0, 15.0), (45.0, 50.0)))
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    assert main(["run", "--scenario", "rwp", "--policy", "fifo",
+                 "--reduced"]) == 0
+    out = capsys.readouterr().out
+    assert "fifo" in out
+
+
+def test_run_json_output(tmp_path, capsys):
+    out_file = tmp_path / "run.json"
+    assert main(["run", "--reduced", "--policy", "fifo",
+                 "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["policy"] == "fifo"
+    assert "delivery_ratio" in payload
+
+
+def test_fig4_command(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "peaks at P(R)" in out
+
+
+def test_fig3_command(capsys, monkeypatch):
+    monkeypatch.setattr(F, "REDUCED_NODE_FACTOR", 0.2)
+    monkeypatch.setattr(F, "REDUCED_TIME_FACTOR", 0.1)
+    assert main(["fig3", "--scenario", "rwp"]) == 0
+    out = capsys.readouterr().out
+    assert "E(I)" in out
+
+
+def test_fig8_command(capsys, tmp_path):
+    out_file = tmp_path / "fig8.json"
+    assert main(["fig8", "--axis", "copies", "--policies", "fifo",
+                 "--workers", "1", "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["figure"] == "fig8(a-c)"
+    assert "fifo" in payload["series"]
+    out = capsys.readouterr().out
+    assert "delivery_ratio" in out
+
+
+def test_fig9_command(capsys):
+    assert main(["fig9", "--axis", "buffer", "--policies", "fifo",
+                 "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9(d-f)" in out
+
+
+def test_run_epfl_scenario(capsys):
+    assert main(["run", "--scenario", "epfl", "--policy", "snw-c",
+                 "--reduced"]) == 0
+    assert "snw-c" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Scenario presets (Tables II/III) and scaling invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    epfl_scenario,
+    random_waypoint_scenario,
+    scale_scenario,
+)
+from repro.units import kbps, megabytes, minutes
+
+
+class TestTableII:
+    def test_paper_parameters(self):
+        cfg = random_waypoint_scenario()
+        assert cfg.sim_time == 18000.0
+        assert cfg.area == (4500.0, 3400.0)
+        assert cfg.n_nodes == 100
+        assert cfg.speed_range == (2.0, 2.0)
+        assert cfg.bandwidth == pytest.approx(kbps(250))
+        assert cfg.radio_range == 100.0
+        assert cfg.buffer_bytes == megabytes(2.5)
+        assert cfg.message_size == megabytes(0.5)
+        assert cfg.interval_range == (25.0, 35.0)
+        assert cfg.ttl == minutes(300)
+        assert cfg.initial_copies == 32
+
+    def test_overrides(self):
+        cfg = random_waypoint_scenario(policy="fifo", initial_copies=64)
+        assert cfg.policy == "fifo"
+        assert cfg.initial_copies == 64
+
+
+class TestTableIII:
+    def test_paper_parameters(self):
+        cfg = epfl_scenario()
+        assert cfg.n_nodes == 200
+        assert cfg.mobility == "taxi"
+        assert cfg.sim_time == 18000.0
+        assert cfg.buffer_bytes == megabytes(2.5)
+
+
+class TestValidation:
+    def test_unknown_mobility(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", n_nodes=10, sim_time=100.0,
+                           mobility="teleport")
+
+    def test_unknown_router(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", n_nodes=10, sim_time=100.0, router="ospf")
+
+    def test_trace_needs_path(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(name="x", n_nodes=10, sim_time=100.0,
+                           mobility="trace")
+
+    def test_replace_returns_new(self):
+        cfg = random_waypoint_scenario()
+        other = cfg.replace(seed=99)
+        assert other.seed == 99 and cfg.seed == 1
+
+
+class TestScaling:
+    def test_density_preserved(self):
+        base = random_waypoint_scenario()
+        small = scale_scenario(base, node_factor=0.4)
+        base_density = base.n_nodes / (base.area[0] * base.area[1])
+        small_density = small.n_nodes / (small.area[0] * small.area[1])
+        assert small_density == pytest.approx(base_density, rel=0.01)
+
+    def test_buffer_pressure_preserved(self):
+        base = random_waypoint_scenario()
+        small = scale_scenario(base, node_factor=0.4, time_factor=1 / 3)
+        # copy-bytes per buffer-byte:
+        # (sim_time/interval) * L * size / (N * buf)
+        def pressure(c):
+            msgs = c.sim_time / ((c.interval_range[0] + c.interval_range[1]) / 2)
+            return (
+                msgs * c.initial_copies * c.message_size
+                / (c.n_nodes * c.buffer_bytes)
+            )
+
+        assert pressure(small) == pytest.approx(pressure(base), rel=0.05)
+
+    def test_ttl_scales_with_time(self):
+        base = random_waypoint_scenario()
+        small = scale_scenario(base, time_factor=0.5)
+        assert small.ttl == base.ttl * 0.5
+        assert small.sim_time == base.sim_time * 0.5
+
+    def test_copies_scale_with_nodes(self):
+        small = scale_scenario(random_waypoint_scenario(), node_factor=0.4)
+        assert small.initial_copies == round(32 * 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scale_scenario(random_waypoint_scenario(), node_factor=0.0)

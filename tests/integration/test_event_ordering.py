@@ -1,0 +1,66 @@
+"""Cross-subsystem event-ordering guarantees.
+
+The hybrid loop's contract: at any timestamp, world maintenance
+(PRIORITY_WORLD) runs before message-level events, so connectivity is
+current when routing logic fires; link teardown aborts in-flight transfers
+before any completion at the same instant could fire.
+"""
+
+from __future__ import annotations
+
+from repro.engine.events import PRIORITY_NORMAL, PRIORITY_WORLD
+from repro.engine.simulator import Simulator
+from tests.helpers import build_micro_world, make_message, scripted_mobility
+
+
+def test_world_priority_runs_before_normal_events():
+    sim = Simulator(end_time=10.0)
+    order = []
+    sim.schedule_at(5.0, lambda: order.append("normal"), priority=PRIORITY_NORMAL)
+    sim.schedule_at(5.0, lambda: order.append("world"), priority=PRIORITY_WORLD)
+    sim.run()
+    assert order == ["world", "normal"]
+
+
+def test_link_down_aborts_before_completion_at_same_tick():
+    """A transfer whose completion coincides with the link-down tick dies.
+
+    The link drops at t=18 (world update, priority -10) while the transfer
+    would complete at t≈17.8; run the razor's edge: make the completion land
+    exactly after the link-down by timing the contact window to less than
+    the ~16.8 s transfer time.
+    """
+    mobility = scripted_mobility(
+        [0.0, 14.0, 15.0, 60.0],
+        [
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (900.0, 900.0)],
+            [(0.0, 0.0), (900.0, 900.0)],
+        ],
+    )
+    mw = build_micro_world(mobility=mobility, sim_time=60.0)
+    mw.router(0).create_message(make_message(source=0, destination=1))
+    mw.sim.run()
+    # ~15 s of contact < 16.8 s transfer: never delivered, cleanly aborted.
+    assert mw.metrics.delivered == 0
+    assert mw.metrics.aborted == 1
+    assert not mw.nodes[0].sending
+    assert "M1" in mw.nodes[0].buffer
+
+
+def test_messages_created_at_tick_see_current_links():
+    """A message created by an event at the same instant as a world tick
+    observes the post-tick neighbor set (world ran first)."""
+    mw = build_micro_world(points=[(0.0, 0.0), (50.0, 0.0)], sim_time=50.0)
+    outcome = {}
+
+    def create():
+        outcome["neighbors"] = dict(mw.nodes[0].neighbors)
+        mw.router(0).create_message(make_message(source=0, destination=1))
+
+    # t=3.0 coincides with a world tick; PRIORITY_NORMAL fires after it.
+    mw.sim.schedule_at(3.0, create)
+    mw.sim.run()
+    assert 1 in outcome["neighbors"]
+    assert mw.metrics.delivered == 1

@@ -1,0 +1,66 @@
+"""Property-based whole-simulation fuzzing.
+
+Hypothesis draws small random scenario configurations (policy, router,
+mobility, copies, buffer, traffic, seed) and runs them end to end, checking
+the invariants that must hold for *every* configuration.  This is the
+broadest net against interaction bugs between subsystems.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import build_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.units import kbps, megabytes
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    name=st.just("fuzz"),
+    n_nodes=st.integers(min_value=3, max_value=10),
+    sim_time=st.sampled_from([300.0, 600.0]),
+    mobility=st.sampled_from(["rwp", "random-walk", "random-direction", "taxi"]),
+    area=st.just((600.0, 500.0)),
+    speed_range=st.sampled_from([(2.0, 2.0), (1.0, 6.0)]),
+    radio_range=st.sampled_from([60.0, 120.0]),
+    bandwidth=st.just(kbps(250)),
+    buffer_bytes=st.sampled_from([megabytes(1.0), megabytes(2.5)]),
+    message_size=st.sampled_from([megabytes(0.25), megabytes(0.5)]),
+    interval_range=st.sampled_from([(20.0, 30.0), (60.0, 80.0)]),
+    ttl=st.sampled_from([300.0, 600.0]),
+    initial_copies=st.integers(min_value=1, max_value=8),
+    router=st.sampled_from(["snw", "epidemic", "direct", "first-contact",
+                            "snf", "prophet"]),
+    policy=st.sampled_from(["fifo", "lifo", "random", "snw-o", "snw-c",
+                            "mofo", "shli", "sdsrp", "sdsrp-knapsack",
+                            "gbsd"]),
+    deliverable_first=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(scenario_configs)
+@settings(max_examples=12, deadline=None)
+def test_any_configuration_upholds_invariants(config):
+    built = build_scenario(config)
+
+    def check(_t):
+        for node in built.nodes:
+            buffer = node.buffer
+            assert buffer.used <= buffer.capacity
+            assert buffer.used == sum(m.size for m in buffer)
+            for msg in buffer:
+                assert 1 <= msg.copies <= msg.initial_copies
+                assert msg.destination != node.id
+
+    built.sim.listeners.subscribe("world.updated", check)
+    built.sim.run()
+
+    metrics = built.metrics
+    assert 0 <= metrics.delivered <= metrics.created
+    assert metrics.relayed >= metrics.delivered - metrics.created or True
+    assert metrics.relayed_accepted <= metrics.relayed
+    assert all(h >= 1 for h in metrics.hop_counts)
+    assert all(lat >= 0 for lat in metrics.latencies)
+    assert built.sim.now == config.sim_time

@@ -1,0 +1,55 @@
+"""Mobility contract: initialization, monotone advance, sub-stepping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.stationary import Stationary
+
+
+def test_advance_before_initialize_fails():
+    m = RandomWaypoint(4, (100.0, 100.0))
+    with pytest.raises(SimulationError):
+        m.advance(1.0)
+
+
+def test_advance_cannot_rewind():
+    m = RandomWaypoint(4, (100.0, 100.0))
+    m.initialize(np.random.default_rng(0))
+    m.advance(10.0)
+    with pytest.raises(SimulationError):
+        m.advance(5.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(0, (100.0, 100.0))
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(4, (0.0, 100.0))
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(4, (100.0, 100.0), speed_range=(0.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(4, (100.0, 100.0), speed_range=(3.0, 2.0))
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(4, (100.0, 100.0), pause_range=(-1.0, 0.0))
+
+
+def test_large_advance_is_subdivided():
+    """A big jump must not move nodes further than speed allows."""
+    m = RandomWaypoint(8, (10_000.0, 10_000.0), speed_range=(2.0, 2.0))
+    m.initialize(np.random.default_rng(1))
+    before = m.positions.copy()
+    m.advance(500.0)
+    moved = np.hypot(*(m.positions - before).T)
+    assert np.all(moved <= 2.0 * 500.0 + 1e-6)
+
+
+def test_reinitialize_resets_time():
+    m = Stationary(2, (10.0, 10.0))
+    m.initialize(np.random.default_rng(0))
+    m.advance(100.0)
+    m.initialize(np.random.default_rng(0))
+    m.advance(1.0)  # would raise if time had not reset

@@ -1,0 +1,129 @@
+"""Map-based mobility: movement stays on the street graph."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.map_based import MapBasedMobility, grid_map
+
+
+def make(n=6, seed=0, cols=4, rows=3, **kw):
+    graph = grid_map(cols, rows, spacing=100.0)
+    m = MapBasedMobility(n, graph, **kw)
+    m.initialize(np.random.default_rng(seed))
+    return m, graph
+
+
+def distance_to_graph(point, graph) -> float:
+    """Distance from a point to the nearest street segment."""
+    px, py = point
+    best = math.inf
+    for u, v in graph.edges:
+        (x1, y1) = graph.nodes[u]["pos"]
+        (x2, y2) = graph.nodes[v]["pos"]
+        dx, dy = x2 - x1, y2 - y1
+        seg_len2 = dx * dx + dy * dy
+        t = 0.0 if seg_len2 == 0 else max(
+            0.0, min(1.0, ((px - x1) * dx + (py - y1) * dy) / seg_len2)
+        )
+        cx, cy = x1 + t * dx, y1 + t * dy
+        best = min(best, math.hypot(px - cx, py - cy))
+    return best
+
+
+class TestGridMap:
+    def test_structure(self):
+        g = grid_map(4, 3, spacing=100.0)
+        assert g.number_of_nodes() == 12
+        assert nx.is_connected(g)
+        assert all("pos" in d for _, d in g.nodes(data=True))
+        assert all("weight" in d for _, _, d in g.edges(data=True))
+
+    def test_jitter_moves_intersections(self):
+        flat = grid_map(3, 3, spacing=100.0)
+        bent = grid_map(3, 3, spacing=100.0, jitter=20.0,
+                        rng=np.random.default_rng(1))
+        p_flat = np.array([d["pos"] for _, d in flat.nodes(data=True)])
+        p_bent = np.array([d["pos"] for _, d in bent.nodes(data=True)])
+        assert not np.allclose(p_flat, p_bent)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_map(1, 3)
+        with pytest.raises(ConfigurationError):
+            grid_map(3, 3, spacing=0.0)
+
+
+class TestMovement:
+    def test_nodes_start_on_vertices(self):
+        m, g = make()
+        vertex_positions = {tuple(g.nodes[v]["pos"]) for v in g.nodes}
+        for i in range(m.n_nodes):
+            assert tuple(m.positions[i]) in vertex_positions
+
+    def test_positions_stay_on_streets(self):
+        m, g = make(speed_range=(3.0, 6.0))
+        for t in range(0, 400, 7):
+            pos = m.advance(float(t))
+            for i in range(m.n_nodes):
+                assert distance_to_graph(pos[i], g) < 1e-6
+
+    def test_step_bounded_by_speed(self):
+        m, _ = make(speed_range=(2.0, 2.0))
+        prev = m.advance(0.0).copy()
+        for t in range(1, 120):
+            cur = m.advance(float(t))
+            assert np.all(np.hypot(*(cur - prev).T) <= 2.0 + 1e-9)
+            prev = cur.copy()
+
+    def test_pause_at_destination(self):
+        m, _ = make(speed_range=(50.0, 50.0), pause_range=(1e6, 1e6))
+        m.advance(100.0)  # everyone finished their first route and paused
+        frozen = m.positions.copy()
+        m.advance(1000.0)
+        assert np.allclose(m.positions, frozen)
+
+    def test_deterministic(self):
+        a, _ = make(seed=5)
+        b, _ = make(seed=5)
+        assert np.array_equal(a.advance(200.0), b.advance(200.0))
+
+
+class TestValidation:
+    def test_requires_connected_graph(self):
+        g = grid_map(3, 3)
+        g.remove_edges_from(list(g.edges((0, 0))))
+        with pytest.raises(ConfigurationError):
+            MapBasedMobility(4, g)
+
+    def test_requires_pos_attributes(self):
+        g = nx.path_graph(5)
+        with pytest.raises(ConfigurationError):
+            MapBasedMobility(4, g)
+
+    def test_requires_two_vertices(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            MapBasedMobility(2, g)
+
+
+class TestSimulationIntegration:
+    def test_runs_in_a_world(self):
+        from tests.helpers import build_micro_world, make_message
+
+        graph = grid_map(3, 3, spacing=60.0)
+        mobility = MapBasedMobility(6, graph, speed_range=(2.0, 2.0))
+        mw = build_micro_world(mobility=mobility, sim_time=400.0)
+        mw.router(0).create_message(
+            make_message(source=0, destination=3, copies=4, size=1000)
+        )
+        mw.sim.run()
+        # A 180x120 m map with 100 m radios is well-connected: delivery
+        # happens quickly.
+        assert mw.metrics.delivered == 1

@@ -1,0 +1,63 @@
+"""Random-direction mobility: travel-to-wall behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mobility.random_direction import RandomDirection
+
+AREA = (300.0, 300.0)
+
+
+def make(n=8, seed=0, **kw):
+    m = RandomDirection(n, AREA, **kw)
+    m.initialize(np.random.default_rng(seed))
+    return m
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=15)
+def test_stays_in_area(seed):
+    m = make(seed=seed, speed_range=(2.0, 12.0))
+    for t in range(0, 300, 15):
+        pos = m.advance(float(t))
+        assert np.all((pos[:, 0] >= 0) & (pos[:, 0] <= AREA[0]))
+        assert np.all((pos[:, 1] >= 0) & (pos[:, 1] <= AREA[1]))
+
+
+def test_reaches_walls():
+    """Nodes travel until a boundary — wall contacts must occur."""
+    m = make(n=20, seed=1, speed_range=(10.0, 10.0))
+    touched = False
+    for t in range(0, 400, 5):
+        pos = m.advance(float(t))
+        on_wall = (
+            (pos[:, 0] <= 1e-6) | (pos[:, 0] >= AREA[0] - 1e-6)
+            | (pos[:, 1] <= 1e-6) | (pos[:, 1] >= AREA[1] - 1e-6)
+        )
+        touched = touched or bool(on_wall.any())
+    assert touched
+
+
+def test_pause_at_wall():
+    m = make(n=6, seed=2, speed_range=(50.0, 50.0), pause_range=(1e6, 1e6))
+    m.advance(30.0)  # everyone hit a wall and paused forever
+    frozen = m.positions.copy()
+    m.advance(300.0)
+    assert np.allclose(m.positions, frozen)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RandomDirection(4, AREA, speed_range=(2.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        RandomDirection(4, AREA, pause_range=(5.0, 1.0))
+
+
+def test_deterministic():
+    a, b = make(seed=9), make(seed=9)
+    assert np.array_equal(a.advance(100.0), b.advance(100.0))

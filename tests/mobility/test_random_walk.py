@@ -1,0 +1,69 @@
+"""Random-walk mobility: bounds, reflection, leg redraws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mobility.random_walk import RandomWalk, reflect
+
+AREA = (500.0, 400.0)
+
+
+def make(n=8, seed=0, **kw):
+    m = RandomWalk(n, AREA, **kw)
+    m.initialize(np.random.default_rng(seed))
+    return m
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        x = np.array([0.0, 5.0, 10.0])
+        assert np.allclose(reflect(x, 10.0), x)
+
+    def test_single_bounce(self):
+        assert reflect(np.array([12.0]), 10.0)[0] == pytest.approx(8.0)
+        assert reflect(np.array([-3.0]), 10.0)[0] == pytest.approx(3.0)
+
+    def test_multiple_bounces(self):
+        # 47 over a [0, 10] segment: 47 mod 20 = 7 -> 7
+        assert reflect(np.array([47.0]), 10.0)[0] == pytest.approx(7.0)
+        # 33 mod 20 = 13 -> 20 - 13 = 7
+        assert reflect(np.array([33.0]), 10.0)[0] == pytest.approx(7.0)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4))
+    def test_always_in_bounds(self, x):
+        out = reflect(np.array([x]), 10.0)[0]
+        assert 0.0 <= out <= 10.0
+
+
+class TestWalk:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15)
+    def test_stays_in_area(self, seed):
+        m = make(seed=seed, speed_range=(1.0, 8.0), leg_length=60.0)
+        for t in range(0, 400, 20):
+            pos = m.advance(float(t))
+            assert np.all((pos[:, 0] >= 0) & (pos[:, 0] <= AREA[0]))
+            assert np.all((pos[:, 1] >= 0) & (pos[:, 1] <= AREA[1]))
+
+    def test_step_bounded_by_speed(self):
+        m = make(speed_range=(3.0, 3.0))
+        prev = m.advance(0.0).copy()
+        for t in range(1, 100):
+            cur = m.advance(float(t))
+            assert np.all(np.hypot(*(cur - prev).T) <= 3.0 + 1e-9)
+            prev = cur.copy()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(4, AREA, speed_range=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            RandomWalk(4, AREA, leg_length=0.0)
+
+    def test_deterministic(self):
+        a, b = make(seed=5), make(seed=5)
+        assert np.array_equal(a.advance(200.0), b.advance(200.0))

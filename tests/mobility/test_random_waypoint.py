@@ -1,0 +1,90 @@
+"""Random-waypoint: bounds, speed, waypoint progress, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.random_waypoint import RandomWaypoint
+
+AREA = (1000.0, 800.0)
+
+
+def make(n=10, seed=0, **kw):
+    m = RandomWaypoint(n, AREA, **kw)
+    m.initialize(np.random.default_rng(seed))
+    return m
+
+
+class TestBounds:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_positions_stay_in_area(self, seed):
+        m = make(n=12, seed=seed, speed_range=(2.0, 10.0))
+        for t in range(0, 500, 25):
+            pos = m.advance(float(t))
+            assert np.all(pos[:, 0] >= 0) and np.all(pos[:, 0] <= AREA[0])
+            assert np.all(pos[:, 1] >= 0) and np.all(pos[:, 1] <= AREA[1])
+
+
+class TestSpeed:
+    def test_fixed_speed_moves_exactly(self):
+        m = make(n=6, speed_range=(2.0, 2.0))
+        prev = m.advance(0.0).copy()
+        for t in range(1, 200):
+            cur = m.advance(float(t))
+            step = np.hypot(*(cur - prev).T)
+            # each node moves at most speed*dt (less when turning at a
+            # waypoint consumes no distance, never more)
+            assert np.all(step <= 2.0 + 1e-9)
+            prev = cur.copy()
+
+    def test_nodes_actually_move(self):
+        m = make(n=6, speed_range=(2.0, 2.0))
+        a = m.advance(0.0).copy()
+        b = m.advance(300.0)
+        assert np.all(np.hypot(*(b - a).T) > 0)
+
+
+class TestPause:
+    def test_pause_halts_movement_at_waypoint(self):
+        # Tiny area so waypoints are reached quickly, huge pause.
+        m = RandomWaypoint(4, (10.0, 10.0), speed_range=(5.0, 5.0),
+                           pause_range=(1e6, 1e6))
+        m.initialize(np.random.default_rng(3))
+        m.advance(50.0)  # everyone has reached a waypoint and is paused
+        frozen = m.positions.copy()
+        m.advance(500.0)
+        assert np.allclose(m.positions, frozen)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a, b = make(seed=7), make(seed=7)
+        for t in (10.0, 50.0, 123.0):
+            assert np.array_equal(a.advance(t), b.advance(t))
+
+    def test_different_seed_different_trajectory(self):
+        a, b = make(seed=7), make(seed=8)
+        assert not np.array_equal(a.advance(50.0), b.advance(50.0))
+
+
+class TestUniformity:
+    def test_long_run_covers_the_area(self):
+        """RWP's stationary distribution is center-biased but spans the area."""
+        m = make(n=40, seed=2, speed_range=(10.0, 10.0))
+        samples = []
+        for t in range(0, 4000, 40):
+            samples.append(m.advance(float(t)).copy())
+        pts = np.concatenate(samples)
+        # Presence in every quadrant of the area.
+        for qx in (0, 1):
+            for qy in (0, 1):
+                in_q = (
+                    (pts[:, 0] >= qx * AREA[0] / 2)
+                    & (pts[:, 0] < (qx + 1) * AREA[0] / 2)
+                    & (pts[:, 1] >= qy * AREA[1] / 2)
+                    & (pts[:, 1] < (qy + 1) * AREA[1] / 2)
+                )
+                assert in_q.mean() > 0.05

@@ -1,0 +1,36 @@
+"""Stationary placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.stationary import Stationary
+
+
+def test_explicit_points_never_move():
+    pts = [(1.0, 2.0), (3.0, 4.0)]
+    m = Stationary(2, (10.0, 10.0), points=pts)
+    m.initialize(np.random.default_rng(0))
+    assert np.allclose(m.advance(0.0), pts)
+    assert np.allclose(m.advance(1000.0), pts)
+
+
+def test_random_points_drawn_once():
+    m = Stationary(5, (100.0, 100.0))
+    m.initialize(np.random.default_rng(1))
+    first = m.advance(0.0).copy()
+    assert np.allclose(m.advance(500.0), first)
+    assert np.all((first >= 0) & (first <= 100.0))
+
+
+def test_shape_validation():
+    with pytest.raises(ConfigurationError):
+        Stationary(3, (10.0, 10.0), points=[(0.0, 0.0)])
+
+
+def test_initial_copy_is_independent():
+    pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+    m = Stationary(2, (10.0, 10.0), points=pts)
+    m.initialize(np.random.default_rng(0))
+    m.positions[0, 0] = 99.0  # simulate accidental mutation
+    assert pts[0, 0] == 1.0  # original array untouched

@@ -1,0 +1,163 @@
+"""Traffic generation: cadence, endpoints, spec validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.generator import MessageGenerator, TrafficSpec
+from repro.units import megabytes
+from tests.helpers import build_micro_world
+
+
+def far_apart_world(n: int = 4, sim_time: float = 2000.0):
+    # Nodes out of radio range: generated messages just sit in buffers.
+    points = [(i * 1000.0, 0.0) for i in range(n)]
+    return build_micro_world(
+        points=points, sim_time=sim_time, area=(10000.0, 1000.0)
+    )
+
+
+def spec(**kw):
+    defaults = dict(
+        interval_range=(25.0, 35.0),
+        message_size=megabytes(0.5),
+        ttl=18000.0,
+        initial_copies=8,
+    )
+    defaults.update(kw)
+    return TrafficSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            spec(interval_range=(0.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            spec(interval_range=(20.0, 10.0))
+
+    def test_rejects_bad_size_ttl_copies(self):
+        with pytest.raises(ConfigurationError):
+            spec(message_size=0)
+        with pytest.raises(ConfigurationError):
+            spec(ttl=0.0)
+        with pytest.raises(ConfigurationError):
+            spec(initial_copies=0)
+
+
+class TestGeneration:
+    def test_message_count_matches_interval(self):
+        mw = far_apart_world(sim_time=3000.0)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes, spec(interval_range=(30.0, 30.0)),
+            np.random.default_rng(1),
+        )
+        gen.start()
+        mw.sim.run()
+        # One message exactly every 30 s starting at t=30.
+        assert gen.created == 100
+        assert mw.metrics.created == 100
+
+    def test_random_interval_within_bounds(self):
+        mw = far_apart_world(sim_time=3000.0)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes, spec(interval_range=(25.0, 35.0)),
+            np.random.default_rng(2),
+        )
+        gen.start()
+        mw.sim.run()
+        assert 3000 / 35 - 1 <= gen.created <= 3000 / 25 + 1
+
+    def test_source_and_destination_differ(self):
+        mw = far_apart_world(sim_time=3000.0)
+        seen = []
+        mw.sim.listeners.subscribe(
+            "message.created", lambda m: seen.append((m.source, m.destination))
+        )
+        gen = MessageGenerator(
+            mw.sim, mw.nodes, spec(), np.random.default_rng(3)
+        )
+        gen.start()
+        mw.sim.run()
+        assert seen
+        assert all(src != dst for src, dst in seen)
+
+    def test_messages_carry_spec_parameters(self):
+        mw = far_apart_world(sim_time=500.0)
+        seen = []
+        mw.sim.listeners.subscribe("message.created", seen.append)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes,
+            spec(initial_copies=16, ttl=1234.0, message_size=1000),
+            np.random.default_rng(4),
+        )
+        gen.start()
+        mw.sim.run()
+        m = seen[0]
+        assert m.initial_copies == m.copies == 16
+        assert m.ttl == 1234.0
+        assert m.size == 1000
+        assert m.created_at > 0
+
+    def test_ids_are_unique_and_prefixed(self):
+        mw = far_apart_world(sim_time=1000.0)
+        seen = []
+        mw.sim.listeners.subscribe("message.created", seen.append)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes, spec(), np.random.default_rng(5), id_prefix="T"
+        )
+        gen.start()
+        mw.sim.run()
+        ids = [m.msg_id for m in seen]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith("T") for i in ids)
+
+    def test_requires_two_nodes(self):
+        mw = far_apart_world()
+        with pytest.raises(ConfigurationError):
+            MessageGenerator(mw.sim, mw.nodes[:1], spec(), np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            mw = far_apart_world(sim_time=1000.0)
+            seen = []
+            mw.sim.listeners.subscribe(
+                "message.created",
+                lambda m: seen.append((m.msg_id, m.source, m.destination, m.created_at)),
+            )
+            gen = MessageGenerator(
+                mw.sim, mw.nodes, spec(), np.random.default_rng(seed)
+            )
+            gen.start()
+            mw.sim.run()
+            return seen
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestMixedSizes:
+    def test_size_range_draws_within_bounds(self):
+        mw = far_apart_world(sim_time=2000.0)
+        seen = []
+        mw.sim.listeners.subscribe("message.created", seen.append)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes,
+            spec(size_range=(1000, 5000)),
+            np.random.default_rng(6),
+        )
+        gen.start()
+        mw.sim.run()
+        sizes = {m.size for m in seen}
+        assert all(1000 <= s <= 5000 for s in sizes)
+        assert len(sizes) > 1  # actually varied
+
+    def test_fixed_size_without_range(self):
+        assert spec().draw_size(np.random.default_rng(0)) == megabytes(0.5)
+
+    def test_bad_size_range(self):
+        with pytest.raises(ConfigurationError):
+            spec(size_range=(0, 100))
+        with pytest.raises(ConfigurationError):
+            spec(size_range=(200, 100))

@@ -1,0 +1,121 @@
+"""Message copy semantics: TTL accounting, binary splits, clones."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from tests.helpers import make_message
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            make_message(size=0)
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ConfigurationError):
+            make_message(ttl=0)
+
+    def test_rejects_copies_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            make_message(copies=0)
+        with pytest.raises(ConfigurationError):
+            make_message(copies=17, initial_copies=16)
+
+    def test_rejects_self_addressed(self):
+        with pytest.raises(ConfigurationError):
+            make_message(source=3, destination=3)
+
+
+class TestTtl:
+    def test_elapsed_and_remaining(self):
+        msg = make_message(created_at=100.0, ttl=50.0)
+        assert msg.elapsed(120.0) == 20.0
+        assert msg.remaining_ttl(120.0) == 30.0
+        assert msg.expires_at() == 150.0
+
+    def test_elapsed_clamped_before_creation(self):
+        msg = make_message(created_at=100.0, ttl=50.0)
+        assert msg.elapsed(90.0) == 0.0
+        assert msg.remaining_ttl(90.0) == 50.0
+
+    def test_expiry_boundary(self):
+        msg = make_message(created_at=0.0, ttl=50.0)
+        assert not msg.is_expired(49.999)
+        assert msg.is_expired(50.0)
+
+    def test_remaining_goes_negative_after_expiry(self):
+        msg = make_message(created_at=0.0, ttl=50.0)
+        assert msg.remaining_ttl(60.0) == -10.0
+
+
+class TestBinarySplit:
+    def test_split_counts_binary(self):
+        assert make_message(copies=16).split_counts() == (8, 8)
+        assert make_message(copies=5, initial_copies=16).split_counts() == (3, 2)
+        assert make_message(copies=2, initial_copies=16).split_counts() == (1, 1)
+
+    def test_cannot_split_single_copy(self):
+        msg = make_message(copies=1, initial_copies=16)
+        assert not msg.can_spray
+        with pytest.raises(ConfigurationError):
+            msg.split_counts()
+
+    def test_split_child_is_pure(self):
+        msg = make_message(copies=16)
+        child = msg.split_child(now=10.0)
+        assert msg.copies == 16  # sender untouched until apply_split
+        assert msg.spray_times == []
+        assert child.copies == 8
+        assert child.hop_count == 1
+        assert child.spray_times == [10.0]
+
+    def test_apply_split_commits_sender_side(self):
+        msg = make_message(copies=16)
+        msg.split_child(now=10.0)
+        msg.apply_split(now=10.0)
+        assert msg.copies == 8
+        assert msg.spray_times == [10.0]
+
+    def test_split_convenience_combines_both(self):
+        msg = make_message(copies=7, initial_copies=16)
+        child = msg.split(now=3.0)
+        assert (msg.copies, child.copies) == (4, 3)
+        assert msg.spray_times == [3.0]
+        assert child.spray_times == [3.0]
+
+    def test_child_inherits_lineage(self):
+        msg = make_message(copies=8, spray_times=[1.0, 2.0])
+        child = msg.split_child(now=5.0)
+        assert child.spray_times == [1.0, 2.0, 5.0]
+
+    @given(st.integers(min_value=2, max_value=1 << 20))
+    def test_split_conserves_tokens(self, copies):
+        msg = make_message(copies=copies, initial_copies=1 << 20)
+        keep, give = msg.split_counts()
+        assert keep + give == copies
+        assert keep >= give >= 1  # binary mode: sender keeps the ceil
+
+    @given(st.integers(min_value=2, max_value=4096))
+    def test_repeated_splitting_terminates_at_one(self, copies):
+        msg = make_message(copies=copies, initial_copies=4096)
+        rounds = 0
+        while msg.can_spray:
+            msg.split(now=float(rounds))
+            rounds += 1
+        assert msg.copies == 1
+        # Binary splitting halves each time: ceil(log2(copies)) rounds.
+        assert rounds == (copies - 1).bit_length()
+
+
+class TestForwardClone:
+    def test_clone_preserves_tokens_and_increments_hops(self):
+        msg = make_message(copies=5, initial_copies=16, hop_count=2)
+        clone = msg.forward_clone(now=9.0)
+        assert clone.copies == 5
+        assert clone.hop_count == 3
+        assert clone.spray_times == msg.spray_times
+        assert clone.spray_times is not msg.spray_times  # independent list

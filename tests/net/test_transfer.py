@@ -1,0 +1,215 @@
+"""Transfer manager: timing, delivery, spray token protocol, aborts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferError
+from repro.routing.base import MODE_DELIVERY, MODE_SPLIT
+from repro.units import kbps, megabytes
+from tests.helpers import (
+    build_micro_world,
+    make_message,
+    scripted_mobility,
+    total_copies_in_network,
+)
+
+#: 0.5 MiB at 250 kbit/s.
+HALF_MB = megabytes(0.5)
+EXPECTED_SECONDS = HALF_MB / kbps(250)  # ~16.78 s
+
+
+def two_nodes_in_range(**kw):
+    return build_micro_world(points=[(0.0, 0.0), (50.0, 0.0)], **kw)
+
+
+class TestTiming:
+    def test_transfer_takes_size_over_bandwidth(self):
+        mw = two_nodes_in_range()
+        msg = make_message(source=0, destination=1, size=HALF_MB)
+        mw.router(0).create_message(msg)
+        mw.sim.run(until=1.0)  # world tick brings the link up at t=0... 1
+        assert mw.transfer_manager.active_count == 1
+        start = mw.sim.now
+        mw.sim.run(until=start + EXPECTED_SECONDS + 1.0)
+        assert mw.metrics.delivered == 1
+        assert mw.metrics.latencies[0] == pytest.approx(EXPECTED_SECONDS, abs=1.0)
+
+    def test_sender_busy_during_transfer(self):
+        mw = two_nodes_in_range()
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run(until=5.0)
+        assert mw.nodes[0].sending
+        assert mw.nodes[0].buffer.is_pinned("M1")
+        mw.sim.run()
+        assert not mw.nodes[0].sending
+
+
+class TestDelivery:
+    def test_direct_delivery_removes_sender_copy(self):
+        mw = two_nodes_in_range()
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run(until=30.0)
+        assert mw.metrics.delivered == 1
+        assert "M1" not in mw.nodes[0].buffer  # spent on delivery
+        assert "M1" not in mw.nodes[1].buffer  # destination absorbs
+        assert "M1" in mw.router(1).delivered_ids
+
+    def test_duplicate_delivery_not_counted(self):
+        # Three nodes in range; 0 and 2 both hold M1 destined for 1.
+        mw = build_micro_world(points=[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)])
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run(until=1.0)
+        # Plant an identical copy at node 2 mid-flight.
+        copy = make_message(source=0, destination=1, hop_count=1)
+        mw.nodes[2].buffer.add(copy)
+        mw.router(2).try_send()
+        mw.sim.run()
+        assert mw.metrics.delivered == 1
+
+    def test_hopcount_recorded_for_delivering_copy(self):
+        mw = two_nodes_in_range()
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run()
+        assert mw.metrics.hop_counts == [1]
+
+
+class TestSprayTokens:
+    def test_binary_split_on_relay(self):
+        # Node 2 (destination) is far away; 0 sprays to 1.
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (50.0, 0.0), (5000.0, 5000.0)],
+            area=(6000.0, 6000.0),
+        )
+        msg = make_message(source=0, destination=2, copies=16, initial_copies=16)
+        mw.router(0).create_message(msg)
+        mw.sim.run(until=EXPECTED_SECONDS + 2.0)
+        assert mw.nodes[0].buffer.get("M1").copies == 8
+        assert mw.nodes[1].buffer.get("M1").copies == 8
+        assert total_copies_in_network(mw, "M1") == 16
+        assert mw.metrics.relayed == 1
+
+    def test_spray_times_recorded_both_sides(self):
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (50.0, 0.0), (5000.0, 5000.0)],
+            area=(6000.0, 6000.0),
+        )
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=16, initial_copies=16)
+        )
+        mw.sim.run(until=EXPECTED_SECONDS + 2.0)
+        sender_copy = mw.nodes[0].buffer.get("M1")
+        receiver_copy = mw.nodes[1].buffer.get("M1")
+        assert len(sender_copy.spray_times) == 1
+        assert sender_copy.spray_times == receiver_copy.spray_times
+
+    def test_wait_phase_copy_not_relayed(self):
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (50.0, 0.0), (5000.0, 5000.0)],
+            area=(6000.0, 6000.0),
+        )
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=1, initial_copies=16)
+        )
+        mw.sim.run(until=200.0)
+        assert mw.metrics.relayed == 0
+        assert "M1" not in mw.nodes[1].buffer
+
+    def test_no_reinfection_of_current_holder(self):
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (50.0, 0.0), (5000.0, 5000.0)],
+            area=(6000.0, 6000.0),
+        )
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=16, initial_copies=16)
+        )
+        mw.sim.run(until=500.0)
+        # After the single possible relay, both hold it; no further relays.
+        assert mw.metrics.relayed == 1
+
+
+class TestAborts:
+    def test_link_down_aborts_transfer(self):
+        # Nodes together for 5 s (transfer needs ~17 s), then apart.
+        mobility = scripted_mobility(
+            [0.0, 5.0, 6.0, 100.0],
+            [
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (900.0, 900.0)],
+                [(0.0, 0.0), (900.0, 900.0)],
+            ],
+        )
+        mw = build_micro_world(mobility=mobility, sim_time=100.0)
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run()
+        assert mw.metrics.delivered == 0
+        assert mw.metrics.aborted >= 1
+        assert "M1" in mw.nodes[0].buffer  # sender keeps its copy
+        assert not mw.nodes[0].buffer.is_pinned("M1")
+        assert not mw.nodes[0].sending
+
+    def test_abort_preserves_tokens(self):
+        mobility = scripted_mobility(
+            [0.0, 5.0, 6.0, 100.0],
+            [
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (900.0, 900.0)],
+                [(0.0, 0.0), (900.0, 900.0)],
+            ],
+        )
+        mw = build_micro_world(mobility=mobility, sim_time=100.0)
+        mw.router(0).create_message(
+            make_message(source=0, destination=1, copies=16, initial_copies=16)
+        )
+        mw.sim.run()
+        assert total_copies_in_network(mw, "M1") == 16
+        assert mw.nodes[0].buffer.get("M1").spray_times == []
+
+
+class TestStartValidation:
+    def test_cannot_start_without_link(self):
+        mw = build_micro_world(points=[(0.0, 0.0), (900.0, 900.0)])
+        msg = make_message(source=0, destination=1)
+        mw.nodes[0].buffer.add(msg)
+        mw.sim.run(until=1.0)
+        with pytest.raises(TransferError):
+            mw.transfer_manager.start(mw.nodes[0], mw.nodes[1], msg, MODE_DELIVERY)
+
+    def test_cannot_start_when_already_sending(self):
+        mw = two_nodes_in_range()
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run(until=2.0)
+        other = make_message(msg_id="M2", source=0, destination=1)
+        mw.nodes[0].buffer.add(other)
+        with pytest.raises(TransferError):
+            mw.transfer_manager.start(mw.nodes[0], mw.nodes[1], other, MODE_DELIVERY)
+
+    def test_cannot_start_message_not_in_buffer(self):
+        mw = two_nodes_in_range()
+        mw.sim.run(until=1.0)
+        ghost = make_message(msg_id="ghost", source=0, destination=1)
+        with pytest.raises(TransferError):
+            mw.transfer_manager.start(mw.nodes[0], mw.nodes[1], ghost, MODE_SPLIT)
+
+    def test_unknown_mode_rejected(self):
+        mw = two_nodes_in_range()
+        msg = make_message(source=0, destination=1)
+        mw.nodes[0].buffer.add(msg)
+        mw.sim.run(until=1.0)
+        with pytest.raises(TransferError):
+            mw.transfer_manager.start(mw.nodes[0], mw.nodes[1], msg, "teleport")
+
+
+class TestExpiryMidFlight:
+    def test_message_expiring_on_air_is_not_delivered(self):
+        mw = two_nodes_in_range()
+        # Expires 5 s into a ~17 s transfer.
+        mw.router(0).create_message(
+            make_message(source=0, destination=1, ttl=5.0)
+        )
+        mw.sim.run(until=40.0)
+        assert mw.metrics.delivered == 0
+        assert "M1" not in mw.nodes[0].buffer
+        assert mw.metrics.drops_by_reason.get("ttl", 0) >= 1

@@ -1,0 +1,43 @@
+"""Work partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.parallel.partition import chunk_evenly, chunk_sized
+
+
+class TestChunkSized:
+    def test_basic(self):
+        assert chunk_sized([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chunk_sized([1], 0)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_concatenation_preserves_order(self, items, size):
+        chunks = chunk_sized(items, size)
+        assert [x for c in chunks for x in c] == items
+        assert all(1 <= len(c) <= size for c in chunks)
+
+
+class TestChunkEvenly:
+    def test_basic(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_more_parts_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chunk_evenly([1], 0)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_balanced_and_order_preserving(self, items, parts):
+        chunks = chunk_evenly(items, parts)
+        assert [x for c in chunks for x in c] == items
+        if chunks:
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1

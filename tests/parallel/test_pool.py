@@ -1,0 +1,32 @@
+"""Process-pool map: ordering, serial/parallel equivalence."""
+
+from __future__ import annotations
+
+from repro.parallel.pool import default_workers, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def test_serial_path():
+    assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+
+def test_empty_input():
+    assert parallel_map(square, [], workers=4) == []
+
+
+def test_single_item_runs_inline():
+    assert parallel_map(square, [7], workers=8) == [49]
+
+
+def test_parallel_matches_serial_order():
+    items = list(range(20))
+    serial = parallel_map(square, items, workers=1)
+    parallel = parallel_map(square, items, workers=2)
+    assert serial == parallel
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

@@ -1,0 +1,137 @@
+"""FIFO / LIFO / Random / SnW-O / SnW-C / MOFO / SHLI ranking behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.copies_based import CopiesRatioPolicy
+from repro.policies.fifo import FifoPolicy
+from repro.policies.lifo import LifoPolicy
+from repro.policies.mofo import MofoPolicy
+from repro.policies.random_drop import RandomPolicy
+from repro.policies.shli import ShliPolicy
+from repro.policies.ttl_based import TtlRatioPolicy
+from tests.helpers import make_message
+
+
+def rank_for_send(policy, messages, now=0.0):
+    return sorted(
+        messages, key=lambda m: policy.send_priority(m, now), reverse=True
+    )
+
+
+def drop_victim(policy, messages, now=0.0):
+    return min(messages, key=lambda m: policy.drop_priority(m, now))
+
+
+class TestFifo:
+    def test_sends_oldest_first(self):
+        p = FifoPolicy()
+        a, b, c = (make_message(msg_id=m) for m in "abc")
+        for m in (a, b, c):
+            p.on_message_added(m, 0.0)
+        assert rank_for_send(p, [c, a, b]) == [a, b, c]
+
+    def test_drops_oldest_first(self):
+        p = FifoPolicy()
+        a, b = make_message(msg_id="a"), make_message(msg_id="b")
+        p.on_message_added(a, 0.0)
+        p.on_message_added(b, 1.0)
+        assert drop_victim(p, [b, a]) is a
+
+    def test_newcomer_never_rejected(self):
+        assert FifoPolicy.compare_newcomer is False
+
+    def test_redelivery_after_drop_is_new(self):
+        p = FifoPolicy()
+        a, b = make_message(msg_id="a"), make_message(msg_id="b")
+        p.on_message_added(a, 0.0)
+        p.on_message_added(b, 1.0)
+        p.on_message_dropped(a, 2.0, "overflow")
+        a2 = make_message(msg_id="a")
+        p.on_message_added(a2, 3.0)
+        assert drop_victim(p, [a2, b]) is b  # b is now the oldest
+
+
+class TestLifo:
+    def test_sends_newest_first_drops_newest_first(self):
+        p = LifoPolicy()
+        a, b = make_message(msg_id="a"), make_message(msg_id="b")
+        p.on_message_added(a, 0.0)
+        p.on_message_added(b, 1.0)
+        assert rank_for_send(p, [a, b]) == [b, a]
+        assert drop_victim(p, [a, b]) is b
+
+
+class TestRandom:
+    def test_scores_stable_per_message(self):
+        p = RandomPolicy(seed=1)
+        m = make_message(msg_id="x")
+        assert p.send_priority(m, 0.0) == p.send_priority(m, 99.0)
+
+    def test_scores_in_unit_interval(self):
+        p = RandomPolicy(seed=2)
+        for i in range(20):
+            s = p.send_priority(make_message(msg_id=f"m{i}"), 0.0)
+            assert 0.0 <= s < 1.0
+
+
+class TestSnwO:
+    def test_priority_is_ttl_ratio(self):
+        p = TtlRatioPolicy()
+        m = make_message(created_at=0.0, ttl=100.0)
+        assert p.priority(m, 25.0) == pytest.approx(0.75)
+
+    def test_fresher_message_wins(self):
+        p = TtlRatioPolicy()
+        fresh = make_message(msg_id="f", created_at=90.0, ttl=100.0)
+        stale = make_message(msg_id="s", created_at=0.0, ttl=100.0)
+        assert rank_for_send(p, [stale, fresh], now=100.0) == [fresh, stale]
+        assert drop_victim(p, [stale, fresh], now=100.0) is stale
+
+    def test_normalization_matters_for_mixed_ttls(self):
+        p = TtlRatioPolicy()
+        # 50/100 s left (ratio .5) vs 100/1000 s left (ratio .1):
+        short = make_message(msg_id="short", created_at=0.0, ttl=100.0)
+        long = make_message(msg_id="long", created_at=0.0, ttl=1000.0)
+        assert drop_victim(p, [short, long], now=900.0 * 0 + 50.0) is not None
+        assert p.priority(short, 50.0) == pytest.approx(0.5)
+        assert p.priority(long, 900.0) == pytest.approx(0.1)
+
+
+class TestSnwC:
+    def test_priority_is_copies_ratio(self):
+        p = CopiesRatioPolicy()
+        m = make_message(copies=8, initial_copies=16)
+        assert p.priority(m, 0.0) == pytest.approx(0.5)
+
+    def test_copies_rich_sent_first_poor_dropped_first(self):
+        p = CopiesRatioPolicy()
+        rich = make_message(msg_id="r", copies=16, initial_copies=16)
+        poor = make_message(msg_id="p", copies=1, initial_copies=16)
+        assert rank_for_send(p, [poor, rich]) == [rich, poor]
+        assert drop_victim(p, [poor, rich]) is poor
+
+
+class TestMofo:
+    def test_most_forwarded_dropped_first(self):
+        p = MofoPolicy()
+        hot = make_message(msg_id="hot")
+        cold = make_message(msg_id="cold")
+        for _ in range(3):
+            p.record_forward("hot")
+        assert drop_victim(p, [hot, cold]) is hot
+        assert rank_for_send(p, [hot, cold]) == [cold, hot]
+
+
+class TestShli:
+    def test_shortest_absolute_lifetime_dropped_first(self):
+        p = ShliPolicy()
+        # ratio would prefer to drop `long` (0.1 < 0.5); SHLI drops `short`
+        # because its absolute remaining lifetime (50 s) is smaller.
+        short = make_message(msg_id="short", created_at=0.0, ttl=100.0)
+        long = make_message(msg_id="long", created_at=0.0, ttl=1000.0)
+        now = 50.0
+        assert p.priority(short, now) == pytest.approx(50.0)
+        assert p.priority(long, now) == pytest.approx(950.0)
+        assert drop_victim(p, [short, long], now=now) is short

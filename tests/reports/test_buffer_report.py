@@ -1,0 +1,34 @@
+"""Buffer occupancy sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reports.buffer_report import BufferReport
+from repro.units import megabytes
+from tests.helpers import build_micro_world, make_message
+
+
+def test_occupancy_series():
+    mw = build_micro_world(
+        points=[(0.0, 0.0), (900.0, 900.0)], buffer_bytes=megabytes(1.0)
+    )
+    report = BufferReport(mw.nodes, sample_interval=10.0)
+    report.subscribe(mw.sim)
+    mw.router(0).create_message(
+        make_message(source=0, destination=1, size=megabytes(0.5))
+    )
+    mw.sim.run(until=100.0)
+    times, mean_occ, max_occ = report.series()
+    assert times.size == 11  # t = 0, 10, ..., 100
+    assert np.all(mean_occ <= max_occ + 1e-12)
+    # One of two 1 MB buffers holds 0.5 MB -> mean 0.25, max 0.5.
+    assert mean_occ[-1] == 0.25
+    assert max_occ[-1] == 0.5
+    assert report.mean_occupancy() > 0.0
+
+
+def test_no_samples_is_nan():
+    mw = build_micro_world(points=[(0.0, 0.0), (900.0, 900.0)])
+    report = BufferReport(mw.nodes)
+    assert np.isnan(report.mean_occupancy())

@@ -1,0 +1,48 @@
+"""Contact report: durations and intermeeting samples from link events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.helpers import build_micro_world, scripted_mobility
+
+
+def on_off_on_world():
+    """Pair together 0-10 s, apart 10-40 s, together again 40-60 s."""
+    mobility = scripted_mobility(
+        [0.0, 10.0, 11.0, 39.0, 40.0, 60.0],
+        [
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (800.0, 800.0)],
+            [(0.0, 0.0), (800.0, 800.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+        ],
+    )
+    return build_micro_world(mobility=mobility, sim_time=60.0)
+
+
+def test_contact_count_and_durations():
+    mw = on_off_on_world()
+    mw.sim.run()
+    assert mw.contacts.contact_count == 2
+    durations = mw.contacts.contact_durations()
+    assert durations.size >= 1
+    assert durations[0] == pytest.approx(11.0, abs=1.5)
+
+
+def test_intermeeting_sample_between_contacts():
+    mw = on_off_on_world()
+    mw.sim.run()
+    gaps = mw.contacts.intermeeting_samples()
+    assert gaps.size == 1
+    assert gaps[0] == pytest.approx(29.0, abs=2.0)
+    assert mw.contacts.mean_intermeeting() == pytest.approx(gaps[0])
+
+
+def test_no_samples_mean_is_nan():
+    mw = build_micro_world(points=[(0.0, 0.0), (900.0, 900.0)])
+    mw.sim.run(until=5.0)
+    assert np.isnan(mw.contacts.mean_intermeeting())

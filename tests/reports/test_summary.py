@@ -1,0 +1,43 @@
+"""RunSummary record formatting."""
+
+from repro.reports.summary import RunSummary
+from repro.units import megabytes
+
+
+def sample() -> RunSummary:
+    return RunSummary(
+        scenario="rwp",
+        policy="sdsrp",
+        seed=7,
+        sim_time=18000.0,
+        initial_copies=32,
+        buffer_bytes=megabytes(2.5),
+        interval_range=(25.0, 35.0),
+        created=600,
+        delivered=300,
+        relayed=4500,
+        delivery_ratio=0.5,
+        average_hopcount=2.4,
+        overhead_ratio=14.0,
+        average_latency=2500.0,
+        drops={"overflow": 900, "ttl": 10},
+        contacts=1234,
+        mean_intermeeting=2000.0,
+    )
+
+
+def test_as_dict_expands_drops():
+    d = sample().as_dict()
+    assert d["drop_overflow"] == 900
+    assert d["drop_ttl"] == 10
+    assert "drops" not in d
+    assert d["policy"] == "sdsrp"
+
+
+def test_table_row_alignment():
+    header = RunSummary.table_header()
+    row = sample().table_row()
+    assert "policy" in header
+    assert "sdsrp" in row
+    assert "2.5MB" in row
+    assert "[25,35]" in row

@@ -1,0 +1,187 @@
+"""Router base machinery: receive path, make-room (Algorithm 1), purge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.outcomes import ReceiveOutcome
+from repro.policies.fifo import FifoPolicy
+from repro.policies.ttl_based import TtlRatioPolicy
+from repro.units import megabytes
+from tests.helpers import build_micro_world, make_message
+
+HALF_MB = megabytes(0.5)
+
+
+def isolated_pair(policy_factory=FifoPolicy, buffer_bytes=megabytes(2.5)):
+    """Two nodes out of range: receive() can be driven by hand."""
+    return build_micro_world(
+        points=[(0.0, 0.0), (900.0, 900.0)],
+        policy_factory=policy_factory,
+        buffer_bytes=buffer_bytes,
+    )
+
+
+class TestReceivePath:
+    def test_accept_stores_and_hooks(self):
+        mw = isolated_pair()
+        mw.sim.run(until=1.0)
+        msg = make_message(source=0, destination=1, copies=4)
+        out = mw.router(0).receive(
+            make_message(msg_id="X", source=1, destination=0, copies=4,
+                         hop_count=1),
+            mw.nodes[1],
+        )
+        # receiving node 0 IS the destination here -> delivered
+        assert out == ReceiveOutcome.DELIVERED
+        out = mw.router(0).receive(
+            make_message(msg_id="Y", source=1, destination=9, copies=4), mw.nodes[1]
+        )
+        # destination elsewhere -> stored
+        assert out == ReceiveOutcome.ACCEPTED
+        assert "Y" in mw.nodes[0].buffer
+        _ = msg
+
+    def test_duplicate_rejected(self):
+        mw = isolated_pair()
+        mw.sim.run(until=1.0)
+        payload = make_message(msg_id="D", source=1, destination=9, copies=2)
+        assert mw.router(0).receive(payload, mw.nodes[1]) == ReceiveOutcome.ACCEPTED
+        again = make_message(msg_id="D", source=1, destination=9, copies=2)
+        assert mw.router(0).receive(again, mw.nodes[1]) == ReceiveOutcome.DUPLICATE
+
+    def test_expired_rejected(self):
+        mw = isolated_pair()
+        mw.sim.run(until=100.0)
+        stale = make_message(msg_id="S", source=1, destination=9, ttl=10.0)
+        assert mw.router(0).receive(stale, mw.nodes[1]) == ReceiveOutcome.EXPIRED
+
+    def test_second_delivery_flagged(self):
+        mw = isolated_pair()
+        mw.sim.run(until=1.0)
+        p1 = make_message(msg_id="Z", source=1, destination=0)
+        p2 = make_message(msg_id="Z", source=1, destination=0)
+        assert mw.router(0).receive(p1, mw.nodes[1]) == ReceiveOutcome.DELIVERED
+        assert (
+            mw.router(0).receive(p2, mw.nodes[1])
+            == ReceiveOutcome.ALREADY_DELIVERED
+        )
+
+
+class TestMakeRoom:
+    def test_fifo_drops_oldest_newcomer_always_wins(self):
+        # Buffer fits 2 half-MB messages.
+        mw = isolated_pair(buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        r = mw.router(0)
+        for i in (1, 2):
+            out = r.receive(
+                make_message(msg_id=f"M{i}", source=1, destination=9), mw.nodes[1]
+            )
+            assert out == ReceiveOutcome.ACCEPTED
+        out = r.receive(
+            make_message(msg_id="M3", source=1, destination=9), mw.nodes[1]
+        )
+        assert out == ReceiveOutcome.ACCEPTED
+        assert mw.nodes[0].buffer.ids() == ["M2", "M3"]  # M1 (oldest) evicted
+        assert mw.metrics.drops_by_reason["overflow"] == 1
+
+    def test_priority_policy_rejects_lowest_newcomer(self):
+        mw = isolated_pair(policy_factory=TtlRatioPolicy,
+                           buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        r = mw.router(0)
+        # Two fresh messages fill the buffer.
+        for i in (1, 2):
+            r.receive(
+                make_message(msg_id=f"F{i}", source=1, destination=9,
+                             created_at=0.9), mw.nodes[1],
+            )
+        # A stale newcomer (low remaining-TTL ratio) must be refused.
+        stale = make_message(msg_id="Old", source=1, destination=9,
+                             created_at=-17000.0, ttl=18000.0)
+        out = r.receive(stale, mw.nodes[1])
+        assert out == ReceiveOutcome.REJECTED_OVERFLOW
+        assert set(mw.nodes[0].buffer.ids()) == {"F1", "F2"}
+
+    def test_priority_policy_evicts_lower_buffered(self):
+        mw = isolated_pair(policy_factory=TtlRatioPolicy,
+                           buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        r = mw.router(0)
+        r.receive(
+            make_message(msg_id="Old", source=1, destination=9,
+                         created_at=-17000.0, ttl=18000.0), mw.nodes[1],
+        )
+        r.receive(
+            make_message(msg_id="Mid", source=1, destination=9,
+                         created_at=-5000.0, ttl=18000.0), mw.nodes[1],
+        )
+        fresh = make_message(msg_id="New", source=1, destination=9,
+                             created_at=0.9)
+        assert r.receive(fresh, mw.nodes[1]) == ReceiveOutcome.ACCEPTED
+        assert set(mw.nodes[0].buffer.ids()) == {"Mid", "New"}
+
+    def test_oversized_message_never_fits(self):
+        mw = isolated_pair(buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        giant = make_message(msg_id="G", source=1, destination=9,
+                             size=megabytes(2))
+        out = mw.router(0).receive(giant, mw.nodes[1])
+        assert out == ReceiveOutcome.REJECTED_OVERFLOW
+        assert "G" not in mw.nodes[0].buffer
+
+    def test_will_accept_precheck_rejects_oversized(self):
+        mw = isolated_pair(buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        giant = make_message(msg_id="G", source=1, destination=9,
+                             size=megabytes(2))
+        assert not mw.router(0).will_accept(giant, mw.nodes[1])
+
+
+class TestCreateMessage:
+    def test_create_emits_created_and_buffers(self):
+        mw = isolated_pair()
+        mw.sim.run(until=1.0)
+        assert mw.router(0).create_message(make_message(source=0, destination=1))
+        assert mw.metrics.created == 1
+        assert "M1" in mw.nodes[0].buffer
+
+    def test_create_makes_room_even_for_priority_policies(self):
+        mw = isolated_pair(policy_factory=TtlRatioPolicy,
+                           buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        r = mw.router(0)
+        for i in (1, 2):
+            r.create_message(make_message(msg_id=f"A{i}", source=0,
+                                          destination=1, created_at=0.5))
+        # Locally generated messages always get room (a victim is evicted).
+        assert r.create_message(
+            make_message(msg_id="A3", source=0, destination=1, created_at=0.9)
+        )
+        assert "A3" in mw.nodes[0].buffer
+        assert len(mw.nodes[0].buffer) == 2
+
+    def test_create_counts_even_when_unstorable(self):
+        mw = isolated_pair(buffer_bytes=megabytes(1.0))
+        mw.sim.run(until=1.0)
+        giant = make_message(msg_id="G", source=0, destination=1,
+                             size=megabytes(3))
+        assert not mw.router(0).create_message(giant)
+        assert mw.metrics.created == 1
+        assert mw.metrics.drops_by_reason.get("no_room") == 1
+
+
+class TestPurge:
+    def test_purge_skips_pinned(self):
+        mw = isolated_pair()
+        mw.sim.run(until=1.0)
+        r = mw.router(0)
+        msg = make_message(source=0, destination=1, ttl=5.0)
+        r.create_message(msg)
+        mw.nodes[0].buffer.pin("M1")
+        mw.sim.run(until=20.0)
+        assert "M1" in mw.nodes[0].buffer  # pinned survives the purge
+        mw.nodes[0].buffer.unpin("M1")
+        r.purge_expired()
+        assert "M1" not in mw.nodes[0].buffer

@@ -1,0 +1,126 @@
+"""Send scheduling: strict Algorithm-1 order vs deliverable-first."""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.net.outcomes import MODE_DELIVERY, MODE_SPLIT
+from repro.policies.base import BufferPolicy
+from tests.helpers import build_micro_world, make_message
+
+
+class ScriptedPolicy(BufferPolicy):
+    """Priorities assigned per message id by the test."""
+
+    name = "scripted"
+    compare_newcomer = True
+
+    def __init__(self, scores: dict[str, float] | None = None) -> None:
+        super().__init__()
+        self.scores = scores if scores is not None else {}
+
+    def send_priority(self, message: Message, now: float) -> float:
+        return self.scores.get(message.msg_id, 0.0)
+
+    def drop_priority(self, message: Message, now: float) -> float:
+        return self.scores.get(message.msg_id, 0.0)
+
+
+SCORES: dict[str, float] = {}
+
+
+def scripted_factory():
+    return ScriptedPolicy(SCORES)
+
+
+def triangle_world(**kw):
+    """Node 0 linked to both 1 and 2."""
+    return build_micro_world(
+        points=[(0.0, 0.0), (80.0, 0.0), (0.0, 80.0)],
+        policy_factory=scripted_factory,
+        **kw,
+    )
+
+
+def setup_two_messages(mw):
+    """Buffer a deliverable (to node 1) and a sprayable (to node 9)."""
+    deliverable = make_message(msg_id="deliv", source=0, destination=1,
+                               copies=1, initial_copies=8, size=1000)
+    relay = make_message(msg_id="relay", source=0, destination=9,
+                         copies=8, initial_copies=8, size=1000)
+    mw.nodes[0].buffer.add(deliverable)
+    mw.nodes[0].buffer.add(relay)
+    return deliverable, relay
+
+
+class TestStrictOrder:
+    def test_higher_priority_relay_beats_delivery(self):
+        SCORES.clear()
+        SCORES.update({"deliv": 1.0, "relay": 5.0})
+        mw = triangle_world()
+        mw.sim.run(until=1.5)
+        setup_two_messages(mw)
+        choice = mw.router(0).select_next()
+        assert choice is not None
+        _, message, mode = choice
+        assert message.msg_id == "relay"
+        assert mode == MODE_SPLIT
+
+    def test_higher_priority_delivery_wins(self):
+        SCORES.clear()
+        SCORES.update({"deliv": 5.0, "relay": 1.0})
+        mw = triangle_world()
+        mw.sim.run(until=1.5)
+        setup_two_messages(mw)
+        peer, message, mode = mw.router(0).select_next()
+        assert message.msg_id == "deliv"
+        assert mode == MODE_DELIVERY
+        assert peer.id == 1
+
+    def test_delivery_wins_ties(self):
+        SCORES.clear()
+        SCORES.update({"deliv": 2.0, "relay": 2.0})
+        mw = triangle_world()
+        mw.sim.run(until=1.5)
+        setup_two_messages(mw)
+        _, message, mode = mw.router(0).select_next()
+        assert mode == MODE_DELIVERY
+
+
+class TestDeliverableFirst:
+    def test_delivery_jumps_queue_regardless_of_priority(self):
+        SCORES.clear()
+        SCORES.update({"deliv": 0.1, "relay": 99.0})
+        mw = triangle_world(deliverable_first=True)
+        mw.sim.run(until=1.5)
+        setup_two_messages(mw)
+        _, message, mode = mw.router(0).select_next()
+        assert message.msg_id == "deliv"
+        assert mode == MODE_DELIVERY
+
+
+class TestEligibilityFiltering:
+    def test_expired_messages_never_selected(self):
+        SCORES.clear()
+        SCORES.update({"dead": 100.0})
+        mw = triangle_world()
+        mw.sim.run(until=1.5)
+        dead = make_message(msg_id="dead", source=0, destination=9,
+                            copies=8, ttl=1.0, size=1000)
+        mw.nodes[0].buffer.add(dead)
+        assert mw.router(0).select_next() is None
+
+    def test_peer_holding_message_not_reinfected(self):
+        SCORES.clear()
+        SCORES.update({"m": 1.0})
+        mw = triangle_world()
+        mw.sim.run(until=1.5)
+        msg = make_message(msg_id="m", source=0, destination=9, copies=8,
+                           size=1000)
+        mw.nodes[0].buffer.add(msg)
+        # Both peers already have it.
+        for peer in (1, 2):
+            mw.nodes[peer].buffer.add(
+                make_message(msg_id="m", source=0, destination=9, copies=2,
+                             initial_copies=8, size=1000, hop_count=1)
+            )
+        assert mw.router(0).select_next() is None

@@ -1,0 +1,108 @@
+"""Binary Spray-and-Wait protocol behaviour end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.trace import TraceMobility
+from tests.helpers import (
+    build_micro_world,
+    make_message,
+    total_copies_in_network,
+)
+
+
+def chain_world(**kw):
+    """Nodes 0-1-2 in a line; only adjacent pairs in range (100 m radio)."""
+    return build_micro_world(
+        points=[(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+        area=(1000.0, 1000.0),
+        **kw,
+    )
+
+
+class TestSprayPhase:
+    def test_copies_halve_along_contacts(self):
+        mw = chain_world()
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=8, initial_copies=8,
+                         size=1000)
+        )
+        mw.sim.run(until=60.0)
+        # 0 sprayed 1 (8 -> 4/4); 1 delivered/forwarded onward to 2 (dest).
+        assert mw.metrics.delivered == 1
+        assert total_copies_in_network(mw, "M1") <= 8
+
+    def test_wait_phase_direct_only(self):
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (80.0, 0.0), (900.0, 900.0)],
+        )
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=1, initial_copies=8,
+                         size=1000)
+        )
+        mw.sim.run(until=200.0)
+        assert "M1" not in mw.nodes[1].buffer
+        assert mw.metrics.relayed == 0
+
+    def test_token_conservation_under_relay(self):
+        mw = chain_world()
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=16, initial_copies=16)
+        )
+        before = total_copies_in_network(mw, "M1")
+        mw.sim.run(until=17.0)  # first spray roughly done
+        # No drops/deliveries yet in this window -> tokens conserved.
+        if mw.metrics.delivered == 0 and not mw.metrics.drops_by_reason:
+            assert total_copies_in_network(mw, "M1") == before
+
+
+class TestSourceSprayVariant:
+    def test_source_spray_hands_out_single_tokens(self):
+        from repro.routing.spray_and_wait import SprayAndWaitRouter
+
+        def factory(node, policy):
+            return SprayAndWaitRouter(node, policy, source_spray=True)
+
+        # Destination (node 2) is out of everyone's range, so the only
+        # possible transfer is one source spray from 0 to 1.
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (80.0, 0.0), (900.0, 900.0)],
+            router_factory=factory,
+        )
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=4, initial_copies=4,
+                         size=1000)
+        )
+        mw.sim.run(until=10.0)
+        # One token left the source; the relay holder must not re-spray.
+        assert mw.nodes[0].buffer.get("M1").copies == 3
+        assert "M1" in mw.nodes[1].buffer
+        assert mw.metrics.relayed == 1
+
+
+class TestDeliveryThroughRelay:
+    def test_two_hop_delivery(self):
+        mw = chain_world()
+        mw.router(0).create_message(
+            make_message(source=0, destination=2, copies=8, initial_copies=8,
+                         size=1000)
+        )
+        mw.sim.run(until=120.0)
+        assert mw.metrics.delivered == 1
+        assert mw.metrics.hop_counts[0] == 2
+
+    def test_moving_destination_gets_message(self):
+        # Destination drives through the source's range.
+        times = [0.0, 50.0, 100.0, 200.0]
+        frames = [
+            [(0.0, 0.0), (500.0, 0.0)],
+            [(0.0, 0.0), (250.0, 0.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+            [(0.0, 0.0), (50.0, 0.0)],
+        ]
+        mobility = TraceMobility(np.asarray(times), np.asarray(frames))
+        mw = build_micro_world(mobility=mobility, sim_time=200.0)
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run()
+        assert mw.metrics.delivered == 1

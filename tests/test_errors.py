@@ -1,0 +1,27 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in ("ConfigurationError", "SimulationError", "BufferError_",
+                 "MessageNotFoundError", "DuplicateMessageError",
+                 "TransferError", "TraceFormatError", "SchedulingError"):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError), name
+
+
+def test_message_not_found_is_key_error():
+    # Callers using dict-style access patterns can catch KeyError.
+    assert issubclass(errors.MessageNotFoundError, KeyError)
+
+
+def test_trace_format_is_value_error():
+    assert issubclass(errors.TraceFormatError, ValueError)
+
+
+def test_catch_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.TransferError("x")

@@ -1,0 +1,28 @@
+"""Examples stay importable/compilable (full runs live outside unit tests)."""
+
+from __future__ import annotations
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring_and_main(path):
+    source = path.read_text()
+    assert source.lstrip().startswith(('"""', '#!/usr/bin/env python'))
+    assert 'if __name__ == "__main__":' in source

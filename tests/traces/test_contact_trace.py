@@ -1,0 +1,76 @@
+"""Contact traces: recording, stats, file round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.contact_trace import ContactEvent, ContactTrace, ContactTraceRecorder
+from tests.helpers import build_micro_world, scripted_mobility
+
+
+def sample_trace() -> ContactTrace:
+    t = ContactTrace()
+    t.append(ContactEvent(10.0, 0, 1, True))
+    t.append(ContactEvent(20.0, 0, 1, False))
+    t.append(ContactEvent(50.0, 1, 0, True))  # unordered pair ids
+    t.append(ContactEvent(60.0, 1, 0, False))
+    t.append(ContactEvent(15.0 + 50.0, 2, 3, True))
+    return t
+
+
+class TestStats:
+    def test_intermeeting_samples(self):
+        t = sample_trace()
+        gaps = t.intermeeting_samples()
+        assert list(gaps) == [30.0]  # 50 - 20 for pair (0,1)
+
+    def test_contact_durations(self):
+        t = sample_trace()
+        assert sorted(t.contact_durations()) == [10.0, 10.0]
+
+    def test_time_ordering_enforced(self):
+        t = ContactTrace()
+        t.append(ContactEvent(10.0, 0, 1, True))
+        with pytest.raises(TraceFormatError):
+            t.append(ContactEvent(5.0, 0, 1, False))
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        t = sample_trace()
+        path = tmp_path / "contacts.txt"
+        t.save(path)
+        loaded = ContactTrace.load(path)
+        assert len(loaded) == len(t)
+        assert loaded.events[0] == t.events[0]
+        assert list(loaded.intermeeting_samples()) == [30.0]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1.0 0 1 CONN sideways\n")
+        with pytest.raises(TraceFormatError):
+            ContactTrace.load(p)
+        p.write_text("1.0 0 1 NOPE up\n")
+        with pytest.raises(TraceFormatError):
+            ContactTrace.load(p)
+
+
+class TestRecorder:
+    def test_records_world_link_events(self):
+        mobility = scripted_mobility(
+            [0.0, 10.0, 11.0, 30.0],
+            [
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (800.0, 800.0)],
+                [(0.0, 0.0), (800.0, 800.0)],
+            ],
+        )
+        mw = build_micro_world(mobility=mobility, sim_time=30.0)
+        rec = ContactTraceRecorder()
+        rec.subscribe(mw.sim)
+        mw.sim.run()
+        kinds = [(e.up) for e in rec.trace.events]
+        assert kinds == [True, False]
+        assert rec.trace.contact_durations().size == 1

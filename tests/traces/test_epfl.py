@@ -1,0 +1,75 @@
+"""EPFL cabspotting loader and the synthetic substitute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.mobility.taxi import TaxiFleet
+from repro.traces.epfl import (
+    load_cabspotting_dir,
+    parse_cabspotting_file,
+    synthetic_epfl,
+)
+
+
+def write_cab(path, rows):
+    path.write_text("\n".join(rows) + "\n")
+
+
+class TestParse:
+    def test_reverse_chronological_input_sorted(self, tmp_path):
+        p = tmp_path / "new_abc.txt"
+        write_cab(p, [
+            "37.75200 -122.39400 0 1213084747",
+            "37.75134 -122.39488 1 1213084687",
+        ])
+        times, coords = parse_cabspotting_file(p)
+        assert times[0] < times[1]
+        assert coords[0][0] == pytest.approx(37.75134)
+
+    def test_rejects_bad_fields(self, tmp_path):
+        p = tmp_path / "new_bad.txt"
+        write_cab(p, ["37.75 -122.39 0"])
+        with pytest.raises(TraceFormatError):
+            parse_cabspotting_file(p)
+
+    def test_rejects_empty(self, tmp_path):
+        p = tmp_path / "new_empty.txt"
+        p.write_text("")
+        with pytest.raises(TraceFormatError):
+            parse_cabspotting_file(p)
+
+
+class TestLoadDir:
+    def test_builds_playback_mobility(self, tmp_path):
+        base = 1213084000
+        for cab in ("aa", "bb", "cc"):
+            rows = [
+                f"37.7{i} -122.4{i} 0 {base + 600 * (5 - i)}" for i in range(5)
+            ]
+            write_cab(tmp_path / f"new_{cab}.txt", rows)
+        mobility = load_cabspotting_dir(tmp_path, n_taxis=2, duration=3000.0,
+                                        grid_step=60.0)
+        assert mobility.n_nodes == 2
+        mobility.initialize(np.random.default_rng(0))
+        pos = mobility.advance(100.0)
+        assert pos.shape == (2, 2)
+        assert np.all(pos >= 0.0)  # shifted to non-negative coordinates
+
+    def test_missing_dir_content(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_cabspotting_dir(tmp_path)
+
+
+class TestSynthetic:
+    def test_returns_taxi_fleet_with_paper_default_size(self):
+        fleet = synthetic_epfl()
+        assert isinstance(fleet, TaxiFleet)
+        assert fleet.n_nodes == 200
+
+    def test_kwargs_forwarded(self):
+        fleet = synthetic_epfl(n_taxis=30, n_hotspots=3)
+        assert fleet.n_nodes == 30
+        assert fleet.n_hotspots == 3

@@ -1,0 +1,38 @@
+"""The world tick's idle-sender retry path.
+
+New send eligibility can appear without any link event — e.g. a neighbor
+drops its copy of a message we hold, making it sprayable to them again.
+Only the periodic retry in World.update catches this.
+"""
+
+from __future__ import annotations
+
+from tests.helpers import build_micro_world, make_message
+
+
+def test_idle_sender_retries_when_peer_drops_copy():
+    mw = build_micro_world(
+        points=[(0.0, 0.0), (80.0, 0.0), (900.0, 900.0)],
+    )
+    mw.sim.run(until=1.5)
+    src, peer = mw.nodes[0], mw.nodes[1]
+
+    # Peer already holds the message: source has nothing to send.
+    msg = make_message(msg_id="m", source=0, destination=2, copies=8,
+                       size=1000)
+    src.router.create_message(msg)
+    peer.buffer.add(
+        make_message(msg_id="m", source=0, destination=2, copies=4,
+                     initial_copies=16, size=1000, hop_count=1)
+    )
+    mw.sim.run(until=5.0)
+    assert mw.metrics.relayed == 0
+    assert not src.sending
+
+    # The peer's copy vanishes (e.g. dropped by its policy): the next world
+    # tick must notice and restart spraying without any link transition.
+    peer.router.drop_message(peer.buffer.get("m"), "overflow")
+    mw.sim.run(until=10.0)
+    assert src.sending or mw.metrics.relayed >= 1
+    mw.sim.run(until=30.0)
+    assert "m" in peer.buffer  # re-infected

@@ -1,0 +1,32 @@
+"""Radio parameter validation and link bandwidth."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import kbps
+from repro.world.radio import Radio
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Radio(range_m=0, bandwidth_Bps=100)
+    with pytest.raises(ConfigurationError):
+        Radio(range_m=100, bandwidth_Bps=0)
+
+
+def test_link_bandwidth_is_slower_side():
+    fast = Radio(100.0, kbps(500))
+    slow = Radio(100.0, kbps(250))
+    assert fast.link_bandwidth(slow) == kbps(250)
+    assert slow.link_bandwidth(fast) == kbps(250)
+
+
+def test_transfer_time():
+    r = Radio(100.0, 1000.0)
+    assert r.transfer_time(2500, r) == 2.5
+
+
+def test_frozen():
+    r = Radio(100.0, 1000.0)
+    with pytest.raises(AttributeError):
+        r.range_m = 50.0  # type: ignore[misc]

@@ -1,0 +1,126 @@
+"""Contact-trace-driven world: replay equivalence and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.generator import MessageGenerator, TrafficSpec
+from repro.net.transfer import TransferManager
+from repro.policies.fifo import FifoPolicy
+from repro.reports.metrics import MetricsCollector
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.traces.contact_trace import (
+    ContactEvent,
+    ContactTrace,
+    ContactTraceRecorder,
+)
+from repro.units import kbps, megabytes
+from repro.world.node import Node
+from repro.world.radio import Radio
+from repro.world.trace_world import TraceWorld
+from tests.helpers import build_micro_world
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+def build_trace_stack(n_nodes: int, trace: ContactTrace, sim_time: float,
+                      traffic_seed: int):
+    sim = Simulator(end_time=sim_time)
+    radio = Radio(100.0, kbps(250))
+    nodes = [Node(i, radio, megabytes(2.5)) for i in range(n_nodes)]
+    tm = TransferManager(sim)
+    world = TraceWorld(sim, nodes, tm, trace)
+    for node in nodes:
+        SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, n_nodes)
+    metrics = MetricsCollector()
+    metrics.subscribe(sim)
+    gen = MessageGenerator(
+        sim, nodes,
+        TrafficSpec(interval_range=(40.0, 60.0), message_size=megabytes(0.5),
+                    ttl=6000.0, initial_copies=4),
+        np.random.default_rng(traffic_seed),
+    )
+    world.start()
+    gen.start()
+    return sim, metrics
+
+
+class TestReplayEquivalence:
+    def test_mobility_run_equals_its_own_trace_replay(self):
+        """Record contacts from a mobility run, replay, compare metrics."""
+        mobility = RandomWaypoint(12, (800.0, 600.0), speed_range=(3.0, 3.0))
+        mw = build_micro_world(mobility=mobility, sim_time=2000.0, seed=5)
+        recorder = ContactTraceRecorder()
+        recorder.subscribe(mw.sim)
+        gen = MessageGenerator(
+            mw.sim, mw.nodes,
+            TrafficSpec(interval_range=(40.0, 60.0),
+                        message_size=megabytes(0.5), ttl=6000.0,
+                        initial_copies=4),
+            np.random.default_rng(77),
+        )
+        gen.start()
+        mw.sim.run()
+
+        sim2, metrics2 = build_trace_stack(
+            12, recorder.trace, sim_time=2000.0, traffic_seed=77
+        )
+        sim2.run()
+
+        assert metrics2.created == mw.metrics.created
+        assert metrics2.delivered == mw.metrics.delivered
+        assert metrics2.relayed == mw.metrics.relayed
+        assert metrics2.drops_by_reason == mw.metrics.drops_by_reason
+
+
+class TestEdgeCases:
+    def make_nodes(self, n=3):
+        sim = Simulator(end_time=100.0)
+        radio = Radio(100.0, kbps(250))
+        nodes = [Node(i, radio, megabytes(1.0)) for i in range(n)]
+        tm = TransferManager(sim)
+        return sim, nodes, tm
+
+    def test_rejects_out_of_range_node_ids(self):
+        sim, nodes, tm = self.make_nodes(2)
+        trace = ContactTrace([ContactEvent(1.0, 0, 5, True)])
+        with pytest.raises(ConfigurationError):
+            TraceWorld(sim, nodes, tm, trace)
+
+    def test_duplicate_up_events_are_idempotent(self):
+        sim, nodes, tm = self.make_nodes(2)
+        trace = ContactTrace([
+            ContactEvent(1.0, 0, 1, True),
+            ContactEvent(2.0, 1, 0, True),  # duplicate, reversed ids
+            ContactEvent(3.0, 0, 1, False),
+        ])
+        for node in nodes:
+            SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, 2)
+        ups = []
+        sim.listeners.subscribe("link.up", lambda a, b: ups.append(sim.now))
+        world = TraceWorld(sim, nodes, tm, trace)
+        world.start()
+        sim.run()
+        assert ups == [1.0]
+        assert not nodes[0].neighbors
+
+    def test_down_without_up_is_ignored(self):
+        sim, nodes, tm = self.make_nodes(2)
+        trace = ContactTrace([ContactEvent(1.0, 0, 1, False)])
+        for node in nodes:
+            SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, 2)
+        world = TraceWorld(sim, nodes, tm, trace)
+        world.start()
+        sim.run()  # must not raise
+
+    def test_events_past_horizon_not_scheduled(self):
+        sim, nodes, tm = self.make_nodes(2)
+        trace = ContactTrace([ContactEvent(500.0, 0, 1, True)])
+        for node in nodes:
+            SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, 2)
+        world = TraceWorld(sim, nodes, tm, trace)
+        world.start()
+        sim.run()
+        assert not world.links

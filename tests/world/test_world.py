@@ -1,0 +1,132 @@
+"""World update loop: link lifecycle, TTL purge, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.mobility.stationary import Stationary
+from repro.net.transfer import TransferManager
+from repro.units import kbps
+from repro.world.node import Node
+from repro.world.radio import Radio
+from repro.world.world import World
+from tests.helpers import build_micro_world, make_message, scripted_mobility
+
+
+class TestLinkLifecycle:
+    def test_links_come_up_on_first_tick(self):
+        mw = build_micro_world(points=[(0.0, 0.0), (50.0, 0.0), (500.0, 500.0)])
+        mw.sim.run(until=1.0)
+        assert mw.world.connected_pairs() == {(0, 1)}
+        assert mw.contacts.contact_count == 1
+
+    def test_link_up_and_down_events_fire(self):
+        mobility = scripted_mobility(
+            [0.0, 10.0, 11.0, 20.0, 21.0, 40.0],
+            [
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (800.0, 800.0)],
+                [(0.0, 0.0), (800.0, 800.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+                [(0.0, 0.0), (50.0, 0.0)],
+            ],
+        )
+        mw = build_micro_world(mobility=mobility, sim_time=40.0)
+        ups, downs = [], []
+        mw.sim.listeners.subscribe("link.up", lambda a, b: ups.append(mw.sim.now))
+        mw.sim.listeners.subscribe("link.down", lambda a, b: downs.append(mw.sim.now))
+        mw.sim.run()
+        assert len(ups) == 2 and len(downs) == 1
+        assert downs[0] == pytest.approx(11.0, abs=1.5)
+
+    def test_neighbor_sets_symmetric(self):
+        mw = build_micro_world(points=[(0.0, 0.0), (50.0, 0.0)])
+        mw.sim.run(until=2.0)
+        assert 1 in mw.nodes[0].neighbors
+        assert 0 in mw.nodes[1].neighbors
+
+
+class TestTtlPurge:
+    def test_expired_messages_are_purged(self):
+        mw = build_micro_world(points=[(0.0, 0.0), (900.0, 900.0)])
+        msg = make_message(source=0, destination=1, ttl=10.0)
+        mw.router(0).create_message(msg)
+        mw.sim.run(until=12.0)
+        assert "M1" not in mw.nodes[0].buffer
+        assert mw.metrics.drops_by_reason.get("ttl") == 1
+
+
+class TestValidation:
+    def _stack(self, n_nodes_world: int, n_nodes_mobility: int):
+        sim = Simulator(end_time=10.0)
+        mobility = Stationary(n_nodes_mobility, (100.0, 100.0))
+        radio = Radio(100.0, kbps(250))
+        nodes = [Node(i, radio, 1000) for i in range(n_nodes_world)]
+        return sim, mobility, nodes, TransferManager(sim)
+
+    def test_node_count_must_match_mobility(self):
+        sim, mobility, nodes, tm = self._stack(2, 3)
+        with pytest.raises(ConfigurationError):
+            World(sim, mobility, nodes, tm)
+
+    def test_node_ids_must_be_dense(self):
+        sim, mobility, _, tm = self._stack(0, 2)
+        radio = Radio(100.0, kbps(250))
+        nodes = [Node(0, radio, 1000), Node(5, radio, 1000)]
+        with pytest.raises(ConfigurationError):
+            World(sim, mobility, nodes, tm)
+
+    def test_tick_must_be_positive(self):
+        sim, mobility, nodes, tm = self._stack(2, 2)
+        with pytest.raises(ConfigurationError):
+            World(sim, mobility, nodes, tm, tick=0.0)
+
+
+class TestHeterogeneousRanges:
+    def test_link_uses_smaller_range(self):
+        sim = Simulator(end_time=10.0)
+        mobility = Stationary(2, (1000.0, 1000.0), points=[(0.0, 0.0), (80.0, 0.0)])
+        long_radio = Radio(200.0, kbps(250))
+        short_radio = Radio(50.0, kbps(250))
+        nodes = [Node(0, long_radio, 1000), Node(1, short_radio, 1000)]
+        tm = TransferManager(sim)
+        world = World(sim, mobility, nodes, tm)
+        world.start(np.random.default_rng(0))
+        sim.run(until=2.0)
+        # 80 m apart: within the long radio's 200 m but not the short's 50 m.
+        assert world.connected_pairs() == set()
+
+    def test_link_within_both_ranges(self):
+        sim = Simulator(end_time=10.0)
+        mobility = Stationary(2, (1000.0, 1000.0), points=[(0.0, 0.0), (40.0, 0.0)])
+        nodes = [
+            Node(0, Radio(200.0, kbps(250)), 1000),
+            Node(1, Radio(50.0, kbps(250)), 1000),
+        ]
+        tm = TransferManager(sim)
+        world = World(sim, mobility, nodes, tm)
+        world.start(np.random.default_rng(0))
+        sim.run(until=2.0)
+        assert world.connected_pairs() == {(0, 1)}
+
+
+class TestDeterministicLinkOrder:
+    def test_simultaneous_link_ups_fire_in_sorted_pair_order(self):
+        """Three pairwise-close nodes: link.up events are emitted in sorted
+        (i, j) order so runs are reproducible regardless of set iteration."""
+        from tests.helpers import build_micro_world
+
+        mw = build_micro_world(
+            points=[(0.0, 0.0), (50.0, 0.0), (25.0, 40.0)]
+        )
+        ups = []
+        mw.sim.listeners.subscribe(
+            "link.up", lambda a, b: ups.append((a.id, b.id))
+        )
+        mw.sim.run(until=1.0)
+        assert ups == sorted(ups)
+        assert len(ups) == 3
