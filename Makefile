@@ -14,13 +14,15 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # The paper's exact grids (Tables II/III). Hours of CPU; tune --workers.
+# Each sweep checkpoints to *.ckpt.jsonl, so a killed run resumes from its
+# completed grid points when you re-run the target.
 figures-full:
-	$(PYTHON) -m repro.experiments fig8 --axis copies --full --workers 4 --json fig8_copies.json
-	$(PYTHON) -m repro.experiments fig8 --axis buffer --full --workers 4 --json fig8_buffer.json
-	$(PYTHON) -m repro.experiments fig8 --axis rate   --full --workers 4 --json fig8_rate.json
-	$(PYTHON) -m repro.experiments fig9 --axis copies --full --workers 4 --json fig9_copies.json
-	$(PYTHON) -m repro.experiments fig9 --axis buffer --full --workers 4 --json fig9_buffer.json
-	$(PYTHON) -m repro.experiments fig9 --axis rate   --full --workers 4 --json fig9_rate.json
+	$(PYTHON) -m repro.experiments fig8 --axis copies --full --workers 4 --resume fig8_copies.ckpt.jsonl --json fig8_copies.json
+	$(PYTHON) -m repro.experiments fig8 --axis buffer --full --workers 4 --resume fig8_buffer.ckpt.jsonl --json fig8_buffer.json
+	$(PYTHON) -m repro.experiments fig8 --axis rate   --full --workers 4 --resume fig8_rate.ckpt.jsonl --json fig8_rate.json
+	$(PYTHON) -m repro.experiments fig9 --axis copies --full --workers 4 --resume fig9_copies.ckpt.jsonl --json fig9_copies.json
+	$(PYTHON) -m repro.experiments fig9 --axis buffer --full --workers 4 --resume fig9_buffer.ckpt.jsonl --json fig9_buffer.json
+	$(PYTHON) -m repro.experiments fig9 --axis rate   --full --workers 4 --resume fig9_rate.ckpt.jsonl --json fig9_rate.json
 
 fig3:
 	$(PYTHON) -m repro.experiments fig3 --scenario rwp
@@ -41,4 +43,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	rm -f *.ckpt.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

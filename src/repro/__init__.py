@@ -33,21 +33,27 @@ Subpackages
 """
 
 from repro.errors import (
-    BufferError_,
+    BufferError_,  # deprecated alias of ReproBufferError
     ConfigurationError,
+    FaultInjectionError,
+    ReproBufferError,
     ReproError,
     SimulationError,
+    SweepInterrupted,
     TraceFormatError,
     TransferError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BufferError_",
     "ConfigurationError",
+    "FaultInjectionError",
+    "ReproBufferError",
     "ReproError",
     "SimulationError",
+    "SweepInterrupted",
     "TraceFormatError",
     "TransferError",
     "__version__",

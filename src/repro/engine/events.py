@@ -24,6 +24,9 @@ PRIORITY_NORMAL = 0
 #: Priority for world updates — they run *before* normal events at the same
 #: timestamp so that connectivity is current when message logic fires.
 PRIORITY_WORLD = -10
+#: Priority for fault injection — after the world rewires connectivity but
+#: before message logic, so outages/flaps apply to the current link set.
+PRIORITY_FAULT = -5
 #: Priority for end-of-step bookkeeping (reports sample after message logic).
 PRIORITY_REPORT = 10
 

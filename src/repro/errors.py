@@ -20,15 +20,20 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state."""
 
 
-class BufferError_(ReproError):
+class ReproBufferError(ReproError):
     """Buffer accounting violation (offered message cannot fit at all, etc.)."""
 
 
-class MessageNotFoundError(BufferError_, KeyError):
+#: Deprecated alias — the old trailing-underscore name confusingly shadowed
+#: the :class:`BufferError` builtin.  Kept for backward compatibility.
+BufferError_ = ReproBufferError
+
+
+class MessageNotFoundError(ReproBufferError, KeyError):
     """Lookup of a message id in a buffer failed."""
 
 
-class DuplicateMessageError(BufferError_):
+class DuplicateMessageError(ReproBufferError):
     """A message id was inserted twice into the same buffer."""
 
 
@@ -42,3 +47,12 @@ class TraceFormatError(ReproError, ValueError):
 
 class SchedulingError(ReproError):
     """Event queue misuse (e.g. scheduling into the past)."""
+
+
+class FaultInjectionError(ReproError):
+    """Fault injector misuse (double start, unsupported world, etc.)."""
+
+
+class SweepInterrupted(ReproError):
+    """A sweep item could not complete (timeout / worker death) and no
+    failure handler was installed to absorb it."""

@@ -12,19 +12,27 @@ scale parameter grids behind ``full=True`` and reduced-scale defaults that
 preserve the orderings (see DESIGN.md §4).
 """
 
+from repro.experiments.checkpoint import SweepCheckpoint, config_fingerprint
 from repro.experiments.figures import (
     PAPER_POLICIES,
     FigureData,
     fig3_intermeeting,
     fig4_priority_curve,
     fig8_buffer,
+    fig8_churn,
     fig8_copies,
     fig8_rate,
     fig9_buffer,
+    fig9_churn,
     fig9_copies,
     fig9_rate,
+    reduced,
 )
-from repro.experiments.runner import build_scenario, run_scenario
+from repro.experiments.runner import (
+    build_scenario,
+    run_scenario,
+    run_scenario_safe,
+)
 from repro.experiments.scenario import (
     ScenarioConfig,
     epfl_scenario,
@@ -37,20 +45,26 @@ __all__ = [
     "PAPER_POLICIES",
     "FigureData",
     "ScenarioConfig",
+    "SweepCheckpoint",
     "build_scenario",
+    "config_fingerprint",
     "epfl_scenario",
     "fig3_intermeeting",
     "fig4_priority_curve",
     "fig8_buffer",
+    "fig8_churn",
     "fig8_copies",
     "fig8_rate",
     "fig9_buffer",
+    "fig9_churn",
     "fig9_copies",
     "fig9_rate",
     "random_waypoint_scenario",
+    "reduced",
     "replicate",
     "run_many",
     "run_scenario",
+    "run_scenario_safe",
     "scale_scenario",
     "summarize_replicates",
 ]

@@ -1,0 +1,110 @@
+"""Crash-safe sweep checkpoints (append-only JSONL).
+
+A sweep writes one line per finished item — success or failure — keyed by a
+content fingerprint of the item's :class:`ScenarioConfig`.  Resuming a
+killed sweep (``--resume PATH``) replays the file and skips every config
+whose summary is already recorded, so an interrupted multi-hour grid loses
+at most the items that were in flight.
+
+Design points:
+
+* the key is a hash of the *config contents* (not its position), so a
+  resume is safe under grid edits — only unchanged points are reused;
+* lines are flushed + fsynced as written; a torn final line (the process
+  died mid-write) is detected and ignored on load;
+* failed items are recorded for reporting but never *reused*: a resume
+  retries them, because the failure may have been environmental (OOM, a
+  killed worker) rather than deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.reports.summary import FailedRun, RunSummary
+
+SweepResult = Union[RunSummary, FailedRun]
+
+_KIND_SUMMARY = "summary"
+_KIND_FAILED = "failed"
+
+
+def config_fingerprint(config: ScenarioConfig) -> str:
+    """Stable content hash of a scenario config (sweep checkpoint key)."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class SweepCheckpoint:
+    """One sweep's append-only result log.
+
+    The in-memory view keeps the *last* record per key, so a retried item
+    simply overwrites its earlier failure when replayed.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._records: dict[str, SweepResult] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    kind = entry["kind"]
+                    data = entry["data"]
+                    key = entry["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn final line from a mid-write crash
+                if kind == _KIND_SUMMARY:
+                    self._records[key] = RunSummary.from_record(data)
+                elif kind == _KIND_FAILED:
+                    self._records[key] = FailedRun.from_record(data)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def completed(self, key: str) -> RunSummary | None:
+        """The recorded *successful* summary for *key*, if any.
+
+        Failures are deliberately not returned: a resumed sweep retries
+        them (the crash may have been environmental, not deterministic).
+        """
+        hit = self._records.get(key)
+        return hit if isinstance(hit, RunSummary) else None
+
+    def failed(self, key: str) -> FailedRun | None:
+        """The recorded failure for *key*, if any (reporting only)."""
+        hit = self._records.get(key)
+        return hit if isinstance(hit, FailedRun) else None
+
+    # -- writes --------------------------------------------------------------
+
+    def record(self, key: str, result: SweepResult) -> None:
+        """Append one finished item and force it to disk."""
+        kind = _KIND_SUMMARY if isinstance(result, RunSummary) else _KIND_FAILED
+        entry: dict[str, Any] = {
+            "key": key,
+            "kind": kind,
+            "data": result.record(),
+        }
+        self._records[key] = result
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, default=str) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -22,6 +22,7 @@ from typing import Any
 from repro.experiments import figures as F
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import epfl_scenario, random_waypoint_scenario
+from repro.faults.plan import FaultPlan
 from repro.reports.summary import RunSummary
 
 
@@ -33,13 +34,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     _add_common(parser)
-    parser.add_argument("--axis", choices=("copies", "buffer", "rate"),
+    parser.add_argument("--axis", choices=("copies", "buffer", "rate", "churn"),
                         default="copies")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale grids (slow)")
     parser.add_argument("--replicates", type=int, default=1)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--policies", nargs="+", default=list(F.PAPER_POLICIES))
+    parser.add_argument("--resume", type=str, default=None, metavar="PATH",
+                        help="JSONL checkpoint file; completed runs are "
+                             "reused when re-running after an interruption")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-run failed grid points up to N extra times "
+                             "(fresh derived seed per attempt)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-run wall-clock limit; a hung run becomes a "
+                             "recorded failure instead of stalling the sweep")
 
 
 def _dump_json(path: str, payload: Any) -> None:
@@ -54,7 +64,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=args.policy, seed=args.seed, initial_copies=args.copies
     )
     if args.reduced:
-        config = F._reduced(config)
+        config = F.reduced(config)
+    if args.churn:
+        duty = config.sim_time / 5.0
+        config = config.replace(faults=FaultPlan(
+            churn_fraction=args.churn, churn_off_time=duty, churn_on_time=duty
+        ))
     summary = run_scenario(config)
     print(RunSummary.table_header())
     print(summary.table_row())
@@ -68,9 +83,11 @@ def _cmd_figsweep(args: argparse.Namespace, scenario: str) -> int:
         ("fig8", "copies"): F.fig8_copies,
         ("fig8", "buffer"): F.fig8_buffer,
         ("fig8", "rate"): F.fig8_rate,
+        ("fig8", "churn"): F.fig8_churn,
         ("fig9", "copies"): F.fig9_copies,
         ("fig9", "buffer"): F.fig9_buffer,
         ("fig9", "rate"): F.fig9_rate,
+        ("fig9", "churn"): F.fig9_churn,
     }[(scenario, args.axis)]
     data = fn(
         full=args.full,
@@ -78,18 +95,26 @@ def _cmd_figsweep(args: argparse.Namespace, scenario: str) -> int:
         replicates=args.replicates,
         workers=args.workers,
         seed=args.seed,
+        retries=args.retries,
+        timeout=args.timeout,
+        resume=args.resume,
     )
     for metric in F.PAPER_METRICS:
         print(data.metric_table(metric))
         print()
+    if data.failures:
+        print(f"{len(data.failures)} run(s) failed:")
+        for failure in data.failures:
+            print(f"  {failure.table_row()}")
     if args.json:
         _dump_json(args.json, {
             "figure": data.figure,
             "x_label": data.x_label,
             "x_values": data.x_values,
             "series": data.series,
+            "failures": [f.as_dict() for f in data.failures],
         })
-    return 0
+    return 1 if data.failures else 0
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
@@ -141,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--copies", type=int, default=32)
     p_run.add_argument("--reduced", action="store_true",
                        help="run the reduced-scale variant")
+    p_run.add_argument("--churn", type=float, default=0.0, metavar="FRACTION",
+                       help="cycle this fraction of nodes off/on "
+                            "(1/5-horizon duty cycle)")
 
     p_fig3 = sub.add_parser("fig3", help="intermeeting distribution fit")
     _add_common(p_fig3)

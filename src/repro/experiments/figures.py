@@ -31,7 +31,8 @@ from repro.experiments.scenario import (
     scale_scenario,
 )
 from repro.experiments.sweep import replicate, run_many, summarize_replicates
-from repro.reports.summary import RunSummary
+from repro.faults.plan import FaultPlan
+from repro.reports.summary import FailedRun, RunSummary
 from repro.units import megabytes
 
 #: The four buffer-management strategies the paper compares (Sec. IV-A).
@@ -48,10 +49,14 @@ PAPER_METRICS: tuple[str, ...] = (
 FULL_COPIES = tuple(range(16, 65, 4))  # 16, 20, ..., 64
 FULL_BUFFERS_MB = (2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
 FULL_RATES = tuple((float(a), float(a + 5)) for a in range(10, 50, 5))
+#: Churn axis (robustness extension, not in the paper): fraction of nodes
+#: cycling offline/online on a 1/5-horizon duty cycle (1 h at paper scale).
+FULL_CHURN = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
 REDUCED_COPIES = (16, 32, 48, 64)
 REDUCED_BUFFERS_MB = (2.0, 3.0, 4.0, 5.0)
 REDUCED_RATES = ((10.0, 15.0), (20.0, 25.0), (30.0, 35.0), (45.0, 50.0))
+REDUCED_CHURN = (0.0, 0.2, 0.4)
 
 #: Reduction factors used when full=False.
 REDUCED_NODE_FACTOR = 0.4
@@ -73,6 +78,8 @@ class FigureData:
     series: dict[str, dict[str, list[float]]]
     #: policy -> metric -> per-x lists of raw replicate summaries.
     raw: dict[str, list[list[RunSummary]]] = field(default_factory=dict)
+    #: Runs that produced no summary (crash-safe sweeps; empty otherwise).
+    failures: list[FailedRun] = field(default_factory=list)
 
     def metric_table(self, metric: str) -> str:
         """Text table: one row per policy, one column per x value."""
@@ -106,17 +113,28 @@ class FigureData:
         return out
 
 
-def _reduced(
+def reduced(
     base: ScenarioConfig,
     node_factor: float | None = None,
     time_factor: float | None = None,
 ) -> ScenarioConfig:
+    """The calibrated reduced-scale variant of a paper scenario.
+
+    Applies the module's reduction factors (density/congestion preserving,
+    see :func:`~repro.experiments.scenario.scale_scenario`) so callers — the
+    CLI's ``--reduced`` flag, benchmarks, docs examples — all land on the
+    same operating point.
+    """
     return scale_scenario(
         base,
         node_factor=REDUCED_NODE_FACTOR if node_factor is None else node_factor,
         time_factor=REDUCED_TIME_FACTOR if time_factor is None else time_factor,
         interval_factor=REDUCED_INTERVAL_FACTOR,
     )
+
+
+#: Deprecated private alias of :func:`reduced` (kept for old callers).
+_reduced = reduced
 
 
 def _sweep_figure(
@@ -128,8 +146,17 @@ def _sweep_figure(
     policies: Sequence[str],
     replicates: int,
     workers: int | None,
+    retries: int = 0,
+    timeout: float | None = None,
+    resume: str | None = None,
 ) -> FigureData:
-    """Run the (policy × x × replicate) grid and aggregate."""
+    """Run the (policy × x × replicate) grid and aggregate.
+
+    With ``retries``/``timeout``/``resume`` set, the sweep runs on the
+    crash-safe path: failed grid points become :class:`FailedRun` entries in
+    :attr:`FigureData.failures` instead of aborting the whole grid, and an
+    interrupted sweep resumes from the ``resume`` checkpoint file.
+    """
     configs: list[ScenarioConfig] = []
     index: list[tuple[str, int]] = []
     for policy in policies:
@@ -138,13 +165,20 @@ def _sweep_figure(
             for rep_cfg in replicate(cfg, replicates):
                 configs.append(rep_cfg)
                 index.append((policy, xi))
-    summaries = run_many(configs, workers=workers)
+    summaries = run_many(
+        configs, workers=workers,
+        retries=retries, timeout=timeout, checkpoint=resume,
+    )
 
+    failures: list[FailedRun] = []
     grid: dict[str, list[list[RunSummary]]] = {
         p: [[] for _ in x_values] for p in policies
     }
     for (policy, xi), summary in zip(index, summaries):
-        grid[policy][xi].append(summary)
+        if isinstance(summary, FailedRun):
+            failures.append(summary)
+        else:
+            grid[policy][xi].append(summary)
 
     series = {
         policy: {
@@ -162,6 +196,7 @@ def _sweep_figure(
         x_values=list(x_values),
         series=series,
         raw=grid,
+        failures=failures,
     )
 
 
@@ -179,12 +214,16 @@ def _metric_sweep(
     seed: int,
     node_factor: float | None = None,
     time_factor: float | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    resume: str | None = None,
 ) -> FigureData:
     original_nodes = base.n_nodes
     base = base.replace(seed=seed)
     if not full:
-        base = _reduced(base, node_factor, time_factor)
+        base = reduced(base, node_factor, time_factor)
     node_factor = base.n_nodes / original_nodes
+    resilience = dict(retries=retries, timeout=timeout, resume=resume)
     if axis == "copies":
         values: Sequence[Any] = FULL_COPIES if full else REDUCED_COPIES
         # x values stay in paper units; the applied L scales with the fleet
@@ -192,14 +231,14 @@ def _metric_sweep(
         return _sweep_figure(
             figure, base, "initial copies L", values,
             lambda c, x: c.replace(initial_copies=max(2, round(x * node_factor))),
-            policies, replicates, workers,
+            policies, replicates, workers, **resilience,
         )
     if axis == "buffer":
         values = FULL_BUFFERS_MB if full else REDUCED_BUFFERS_MB
         return _sweep_figure(
             figure, base, "buffer size (MB)", values,
             lambda c, x: c.replace(buffer_bytes=megabytes(x)),
-            policies, replicates, workers,
+            policies, replicates, workers, **resilience,
         )
     if axis == "rate":
         values = FULL_RATES if full else REDUCED_RATES
@@ -210,7 +249,21 @@ def _metric_sweep(
         return _sweep_figure(
             figure, base, "generation interval (s)", values,
             lambda c, x: c.replace(interval_range=(x[0] * scale, x[1] * scale)),
-            policies, replicates, workers,
+            policies, replicates, workers, **resilience,
+        )
+    if axis == "churn":
+        values = FULL_CHURN if full else REDUCED_CHURN
+        # Robustness extension: x is the churned fleet fraction on a
+        # 1/5-horizon duty cycle (1 h off / 1 h on at paper scale).
+        duty = base.sim_time / 5.0
+        return _sweep_figure(
+            figure, base, "churned node fraction", values,
+            lambda c, x: c.replace(
+                faults=FaultPlan(
+                    churn_fraction=x, churn_off_time=duty, churn_on_time=duty
+                )
+            ) if x else c,
+            policies, replicates, workers, **resilience,
         )
     raise ValueError(f"unknown axis {axis!r}")
 
@@ -218,61 +271,91 @@ def _metric_sweep(
 def fig8_copies(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
                 replicates: int = 1, workers: int | None = None,
                 seed: int = 1, node_factor: float | None = None,
-                time_factor: float | None = None) -> FigureData:
-    """Fig. 8(a-c): RWP metrics vs initial copies (buffer 2.5 MB, rate 25-35 s)."""
+                time_factor: float | None = None, **resilience: Any) -> FigureData:
+    """Fig. 8(a-c): RWP metrics vs initial copies (buffer 2.5 MB, rate 25-35 s).
+
+    All ``fig8_*``/``fig9_*`` generators accept the crash-safe sweep options
+    ``retries=N``, ``timeout=SECONDS`` and ``resume=PATH`` (see
+    :func:`repro.experiments.sweep.run_many`).
+    """
     return _metric_sweep("fig8(a-c)", random_waypoint_scenario(), "copies",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
 
 
 def fig8_buffer(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
                 replicates: int = 1, workers: int | None = None,
                 seed: int = 1, node_factor: float | None = None,
-                time_factor: float | None = None) -> FigureData:
+                time_factor: float | None = None, **resilience: Any) -> FigureData:
     """Fig. 8(d-f): RWP metrics vs buffer size (L=32, rate 25-35 s)."""
     return _metric_sweep("fig8(d-f)", random_waypoint_scenario(), "buffer",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
 
 
 def fig8_rate(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
               replicates: int = 1, workers: int | None = None,
               seed: int = 1, node_factor: float | None = None,
-              time_factor: float | None = None) -> FigureData:
+              time_factor: float | None = None, **resilience: Any) -> FigureData:
     """Fig. 8(g-i): RWP metrics vs generation interval (L=32, 2.5 MB)."""
     return _metric_sweep("fig8(g-i)", random_waypoint_scenario(), "rate",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
+
+
+def fig8_churn(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
+               replicates: int = 1, workers: int | None = None,
+               seed: int = 1, node_factor: float | None = None,
+               time_factor: float | None = None, **resilience: Any) -> FigureData:
+    """Robustness extension: RWP metrics vs churned node fraction.
+
+    Not a paper figure — it answers "how does SDSRP's priority ranking
+    degrade under node churn?" by cycling a growing fraction of the fleet
+    off/on (1/5-horizon duty cycle) under otherwise Table-II conditions.
+    """
+    return _metric_sweep("fig8(churn)", random_waypoint_scenario(), "churn",
+                         full, policies, replicates, workers, seed,
+                         node_factor, time_factor, **resilience)
 
 
 def fig9_copies(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
                 replicates: int = 1, workers: int | None = None,
                 seed: int = 1, node_factor: float | None = None,
-                time_factor: float | None = None) -> FigureData:
+                time_factor: float | None = None, **resilience: Any) -> FigureData:
     """Fig. 9(a-c): taxi-trace metrics vs initial copies."""
     return _metric_sweep("fig9(a-c)", epfl_scenario(), "copies",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
 
 
 def fig9_buffer(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
                 replicates: int = 1, workers: int | None = None,
                 seed: int = 1, node_factor: float | None = None,
-                time_factor: float | None = None) -> FigureData:
+                time_factor: float | None = None, **resilience: Any) -> FigureData:
     """Fig. 9(d-f): taxi-trace metrics vs buffer size."""
     return _metric_sweep("fig9(d-f)", epfl_scenario(), "buffer",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
 
 
 def fig9_rate(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
               replicates: int = 1, workers: int | None = None,
               seed: int = 1, node_factor: float | None = None,
-              time_factor: float | None = None) -> FigureData:
+              time_factor: float | None = None, **resilience: Any) -> FigureData:
     """Fig. 9(g-i): taxi-trace metrics vs generation interval."""
     return _metric_sweep("fig9(g-i)", epfl_scenario(), "rate",
                          full, policies, replicates, workers, seed,
-                         node_factor, time_factor)
+                         node_factor, time_factor, **resilience)
+
+
+def fig9_churn(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
+               replicates: int = 1, workers: int | None = None,
+               seed: int = 1, node_factor: float | None = None,
+               time_factor: float | None = None, **resilience: Any) -> FigureData:
+    """Robustness extension: taxi-trace metrics vs churned node fraction."""
+    return _metric_sweep("fig9(churn)", epfl_scenario(), "churn",
+                         full, policies, replicates, workers, seed,
+                         node_factor, time_factor, **resilience)
 
 
 # -- Fig. 3: intermeeting distributions ---------------------------------------
@@ -289,7 +372,7 @@ def fig3_intermeeting(
     """
     base = random_waypoint_scenario() if scenario == "rwp" else epfl_scenario()
     if not full:
-        base = _reduced(base)
+        base = reduced(base)
     horizon = base.sim_time
     config = base.replace(
         seed=seed,
@@ -314,21 +397,26 @@ def fig4_priority_curve(**kwargs: Any) -> dict[str, Any]:
 
 __all__ = [
     "FULL_BUFFERS_MB",
+    "FULL_CHURN",
     "FULL_COPIES",
     "FULL_RATES",
     "PAPER_METRICS",
     "PAPER_POLICIES",
     "REDUCED_BUFFERS_MB",
+    "REDUCED_CHURN",
     "REDUCED_COPIES",
     "REDUCED_RATES",
     "FigureData",
     "fig3_intermeeting",
     "fig4_priority_curve",
     "fig8_buffer",
+    "fig8_churn",
     "fig8_copies",
     "fig8_rate",
     "fig9_buffer",
+    "fig9_churn",
     "fig9_copies",
     "fig9_rate",
+    "reduced",
     "run_scenario",
 ]

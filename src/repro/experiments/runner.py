@@ -10,6 +10,7 @@ processes (no closures), so sweeps parallelize cleanly.
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass
 
 from repro.core.oracle import GlobalInfectionOracle
@@ -17,6 +18,7 @@ from repro.core.params import ESTIMATOR_ORACLE, SdsrpParams
 from repro.core.sdsrp import SdsrpPolicy, SdsrpShared
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
 from repro.mobility.base import MobilityModel
 from repro.mobility.random_direction import RandomDirection
 from repro.mobility.random_walk import RandomWalk
@@ -29,7 +31,7 @@ from repro.policies.registry import make_policy
 from repro.reports.buffer_report import BufferReport
 from repro.reports.contact_report import ContactReport
 from repro.reports.metrics import MetricsCollector
-from repro.reports.summary import RunSummary
+from repro.reports.summary import FailedRun, RunSummary
 from repro.rng import RngFactory
 from repro.routing.base import Router
 from repro.routing.direct import DirectDeliveryRouter
@@ -59,6 +61,7 @@ class BuiltSimulation:
     generator: MessageGenerator
     shared: SdsrpShared | None
     buffer_report: BufferReport | None
+    fault_injector: FaultInjector | None = None
 
 
 def _make_mobility(config: ScenarioConfig) -> MobilityModel:
@@ -196,6 +199,11 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
 
     world.start(rng.stream("mobility"))
     generator.start()
+
+    fault_injector = None
+    if config.faults is not None and config.faults.enabled:
+        fault_injector = FaultInjector(world, config.faults, rng.stream("faults"))
+        fault_injector.start()
     return BuiltSimulation(
         config=config,
         sim=sim,
@@ -206,6 +214,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
         generator=generator,
         shared=shared,
         buffer_report=buffer_report,
+        fault_injector=fault_injector,
     )
 
 
@@ -231,7 +240,29 @@ def run_scenario(config: ScenarioConfig) -> RunSummary:
         overhead_ratio=metrics.overhead_ratio,
         average_latency=metrics.average_latency,
         drops=dict(metrics.drops_by_reason),
+        faults=dict(metrics.faults_by_kind),
         contacts=built.contacts.contact_count,
         mean_intermeeting=built.contacts.mean_intermeeting(),
         wall_seconds=time.perf_counter() - wall_start,
     )
+
+
+def run_scenario_safe(config: ScenarioConfig) -> RunSummary | FailedRun:
+    """:func:`run_scenario`, but failures become :class:`FailedRun` records.
+
+    Any :class:`Exception` (including every :class:`~repro.errors.ReproError`)
+    is captured with its traceback instead of propagating, so one bad
+    configuration or simulator bug cannot poison a whole sweep.
+    ``KeyboardInterrupt``/``SystemExit`` still propagate.
+    """
+    try:
+        return run_scenario(config)
+    except Exception as exc:
+        return FailedRun(
+            scenario=config.name,
+            policy=config.policy,
+            seed=config.seed,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback=traceback.format_exc(),
+        )

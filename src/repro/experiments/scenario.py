@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.units import kbps, megabytes, minutes
 
 #: Mobility kinds understood by the runner.
@@ -60,6 +61,9 @@ class ScenarioConfig:
     tick: float = 1.0
     detector: str | None = None
     seed: int = 1
+    #: Optional fault model (node churn, link flaps, transfer truncation);
+    #: None or a disabled plan runs the paper's ideal conditions.
+    faults: FaultPlan | None = None
     # -- extra reports --
     with_buffer_report: bool = False
     #: Exclude messages created before this time from all metrics (ONE's

@@ -5,7 +5,10 @@ Thin, deterministic glue between scenario configs and the process pool:
 * :func:`replicate` — n seeds per config (seed derivation is stable under
   reordering, see :func:`repro.rng.derive_seed`);
 * :func:`run_many` — run a list of configs, serial or parallel, preserving
-  input order;
+  input order; with any resilience option set it switches to the crash-safe
+  path (failures become :class:`~repro.reports.summary.FailedRun` records in
+  place, optionally retried with fresh derived seeds and checkpointed to a
+  resumable JSONL file);
 * :func:`summarize_replicates` — average metric values over replicates.
 """
 
@@ -14,10 +17,15 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
-from repro.experiments.runner import run_scenario
+from repro.experiments.checkpoint import (
+    SweepCheckpoint,
+    SweepResult,
+    config_fingerprint,
+)
+from repro.experiments.runner import run_scenario, run_scenario_safe
 from repro.experiments.scenario import ScenarioConfig
 from repro.parallel.pool import parallel_map
-from repro.reports.summary import RunSummary
+from repro.reports.summary import FailedRun, RunSummary
 from repro.rng import derive_seed
 
 
@@ -32,26 +40,115 @@ def replicate(config: ScenarioConfig, n: int) -> list[ScenarioConfig]:
 def run_many(
     configs: Sequence[ScenarioConfig],
     workers: int | None = None,
-) -> list[RunSummary]:
+    *,
+    safe: bool = False,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | None = None,
+) -> list[SweepResult]:
     """Run every config; results are in input order.
 
     ``workers=None`` uses all cores minus one; ``workers=1`` forces serial.
+
+    The default path propagates the first failure, exactly as before.  With
+    ``safe=True`` (implied by ``retries``, ``timeout`` or ``checkpoint``)
+    every failure — a raising scenario, a hung worker (``timeout`` seconds),
+    or a dying worker process — is returned as a :class:`FailedRun` record
+    in the failing config's slot instead of poisoning the sweep:
+
+    * ``retries`` re-runs failed items up to that many extra times, each
+      attempt with a fresh seed derived from the original (a pathological
+      seed must not fail the grid point forever);
+    * ``checkpoint`` appends each finished item to a JSONL file keyed by
+      config fingerprint; re-running with the same path skips configs whose
+      summaries are already recorded (``--resume`` in the CLI).
     """
-    return parallel_map(run_scenario, list(configs), workers=workers)
+    configs = list(configs)
+    if not (safe or retries or timeout is not None or checkpoint):
+        return parallel_map(run_scenario, configs, workers=workers)
+    return _run_resilient(
+        configs,
+        workers=workers,
+        retries=retries,
+        timeout=timeout,
+        checkpoint=SweepCheckpoint(checkpoint) if checkpoint else None,
+    )
+
+
+def _failed_from(config: ScenarioConfig, exc: BaseException) -> FailedRun:
+    """A FailedRun for an item the worker never got to report on."""
+    return FailedRun(
+        scenario=config.name,
+        policy=config.policy,
+        seed=config.seed,
+        error_type=type(exc).__name__,
+        # concurrent.futures.TimeoutError stringifies to "" — say something.
+        error_message=str(exc) or "no result (timed out or worker died)",
+    )
+
+
+def _run_resilient(
+    configs: list[ScenarioConfig],
+    workers: int | None,
+    retries: int,
+    timeout: float | None,
+    checkpoint: SweepCheckpoint | None,
+) -> list[SweepResult]:
+    keys = [config_fingerprint(c) for c in configs]
+    results: dict[int, SweepResult] = {}
+    if checkpoint is not None:
+        for i, key in enumerate(keys):
+            hit = checkpoint.completed(key)
+            if hit is not None:
+                results[i] = hit
+
+    pending = [i for i in range(len(configs)) if i not in results]
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        batch = []
+        for i in pending:
+            cfg = configs[i]
+            if attempt > 0:
+                # Fresh derived seed per retry: a crash tied to one seed's
+                # event sequence must not fail the grid point forever.
+                cfg = cfg.replace(seed=derive_seed(cfg.seed, "retry", attempt))
+            batch.append(cfg)
+
+        def write_through(batch_pos: int, result: SweepResult) -> None:
+            if checkpoint is not None:
+                checkpoint.record(keys[pending[batch_pos]], result)
+
+        outcomes = parallel_map(
+            run_scenario_safe,
+            batch,
+            workers=workers,
+            timeout=timeout,
+            on_error=_failed_from,
+            on_result=write_through,
+        )
+        for i, outcome in zip(pending, outcomes):
+            if isinstance(outcome, FailedRun):
+                outcome = outcome.replace_attempts(attempt + 1)
+            results[i] = outcome
+        pending = [i for i in pending if isinstance(results[i], FailedRun)]
+    return [results[i] for i in range(len(configs))]
 
 
 def summarize_replicates(
-    summaries: Sequence[RunSummary], metric: str
+    summaries: Sequence[SweepResult], metric: str
 ) -> float:
     """Mean of *metric* across replicate summaries, ignoring NaNs.
 
-    Returns NaN when every replicate is NaN (e.g. overhead with zero
-    deliveries).
+    :class:`FailedRun` records are skipped (a crashed replicate must not
+    poison the surviving ones).  Returns NaN when every replicate is NaN or
+    failed (e.g. overhead with zero deliveries).
     """
     values = [
         v
         for s in summaries
-        if not math.isnan(v := float(getattr(s, metric)))
+        if isinstance(s, RunSummary)
+        and not math.isnan(v := float(getattr(s, metric)))
     ]
     if not values:
         return math.nan

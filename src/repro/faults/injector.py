@@ -1,0 +1,170 @@
+"""Fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into events.
+
+The injector layers on top of a world (:class:`~repro.world.world.World` or
+:class:`~repro.world.trace_world.TraceWorld` — anything exposing
+``set_node_down`` / ``set_node_up`` / ``force_link_down``) and the
+:class:`~repro.net.transfer.TransferManager`:
+
+* churn cycles are expanded into absolute-time down/up events at
+  :data:`~repro.engine.events.PRIORITY_FAULT` (after the world tick rewires
+  connectivity, before message logic);
+* link flaps are a Poisson process over the *current* link set;
+* transfer faults hook the manager's completion path via
+  :attr:`~repro.net.transfer.TransferManager.fault_model`.
+
+Every injected fault is emitted on the ``fault.injected`` topic as
+``(kind, now)`` so :class:`~repro.reports.metrics.MetricsCollector` can
+surface per-kind counters in the run summary.  All randomness comes from the
+single generator handed to the constructor (the scenario's ``faults`` RNG
+stream), so runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
+
+from repro.engine.events import PRIORITY_FAULT
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import Simulator
+    from repro.net.transfer import Transfer, TransferManager
+    from repro.world.node import Node
+
+
+class FaultTarget(Protocol):
+    """What the injector needs from a world implementation."""
+
+    sim: "Simulator"
+    nodes: list["Node"]
+    links: set[tuple[int, int]]
+    transfer_manager: "TransferManager"
+
+    def set_node_down(self, node_id: int) -> None: ...
+    def set_node_up(self, node_id: int) -> None: ...
+    def force_link_down(self, i: int, j: int) -> bool: ...
+
+
+#: Fault kinds reported through ``fault.injected`` / ``RunSummary.faults``.
+KIND_NODE_DOWN = "node_down"
+KIND_NODE_UP = "node_up"
+KIND_LINK_FLAP = "link_flap"
+KIND_TRANSFER_FAULT = "transfer_fault"
+FAULT_KINDS = (KIND_NODE_DOWN, KIND_NODE_UP, KIND_LINK_FLAP, KIND_TRANSFER_FAULT)
+
+
+class FaultInjector:
+    """Schedules and applies the faults a :class:`FaultPlan` declares."""
+
+    def __init__(
+        self,
+        world: FaultTarget,
+        plan: FaultPlan,
+        rng: np.random.Generator,
+    ) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.plan = plan
+        self.rng = rng
+        #: Per-kind counts of injected faults (mirrors the emitted events).
+        self.counts: dict[str, int] = {}
+        #: Node ids selected for churn (fixed for the whole run).
+        self.churned_nodes: tuple[int, ...] = ()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Derive the fault schedule and register all hooks.  Idempotence is
+        deliberately *not* provided: a second start would double-inject."""
+        if self._started:
+            raise FaultInjectionError("fault injector already started")
+        self._started = True
+        if self.plan.churn_fraction > 0:
+            self._schedule_churn()
+        if self.plan.link_flap_rate > 0:
+            self._schedule_next_flap()
+        if self.plan.transfer_fault_prob > 0:
+            manager = self.world.transfer_manager
+            if manager.fault_model is not None:
+                raise FaultInjectionError(
+                    "transfer manager already has a fault model attached"
+                )
+            manager.fault_model = self
+
+    def _emit(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.sim.listeners.emit("fault.injected", kind, self.sim.now)
+
+    # -- node churn ----------------------------------------------------------
+
+    def _schedule_churn(self) -> None:
+        n = len(self.world.nodes)
+        k = int(round(self.plan.churn_fraction * n))
+        if k == 0:
+            return
+        chosen = self.rng.choice(n, size=k, replace=False)
+        self.churned_nodes = tuple(int(i) for i in sorted(chosen))
+        period = self.plan.churn_off_time + self.plan.churn_on_time
+        for node_id in self.churned_nodes:
+            # A random phase staggers outages; the duty cycle itself is fixed.
+            t = float(self.rng.uniform(0.0, period))
+            down = True
+            while t <= self.sim.end_time:
+                self.sim.schedule_at(
+                    t, self._churn_event, node_id, down, priority=PRIORITY_FAULT
+                )
+                t += self.plan.churn_off_time if down else self.plan.churn_on_time
+                down = not down
+
+    def _churn_event(self, node_id: int, down: bool) -> None:
+        if down:
+            self.world.set_node_down(node_id)
+            self._emit(KIND_NODE_DOWN)
+            if self.plan.churn_wipe_buffer:
+                self._wipe_buffer(node_id)
+        else:
+            self.world.set_node_up(node_id)
+            self._emit(KIND_NODE_UP)
+
+    def _wipe_buffer(self, node_id: int) -> None:
+        node = self.world.nodes[node_id]
+        if node.router is None:
+            return
+        # All the node's transfers were aborted when its links dropped, so
+        # nothing is pinned; the guard keeps a partial wipe from crashing.
+        for message in node.buffer.messages():
+            if not node.buffer.is_pinned(message.msg_id):
+                node.router.drop_message(message, "fault")
+
+    # -- link flaps ----------------------------------------------------------
+
+    def _schedule_next_flap(self) -> None:
+        delay = float(self.rng.exponential(1.0 / self.plan.link_flap_rate))
+        if self.sim.now + delay <= self.sim.end_time:
+            self.sim.schedule_in(
+                delay, self._flap_event, priority=PRIORITY_FAULT
+            )
+
+    def _flap_event(self) -> None:
+        links = sorted(self.world.links)
+        if links:
+            i, j = links[int(self.rng.integers(len(links)))]
+            if self.world.force_link_down(i, j):
+                self._emit(KIND_LINK_FLAP)
+        self._schedule_next_flap()
+
+    # -- transfer faults (TransferManager.fault_model protocol) --------------
+
+    def transfer_fails(self, transfer: "Transfer") -> bool:
+        """Decide whether *transfer* was truncated on the air."""
+        if self.rng.random() >= self.plan.transfer_fault_prob:
+            return False
+        self._emit(KIND_TRANSFER_FAULT)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector plan={self.plan} counts={self.counts}>"

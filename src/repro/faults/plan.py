@@ -1,0 +1,90 @@
+"""The fault plan: a picklable record of what should go wrong, and when.
+
+A :class:`FaultPlan` travels inside a
+:class:`~repro.experiments.scenario.ScenarioConfig` to sweep workers, so it
+must stay a plain frozen dataclass.  The plan only declares *rates and
+shapes*; the concrete fault schedule is derived deterministically by the
+:class:`~repro.faults.injector.FaultInjector` from the scenario's ``faults``
+RNG stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault model for one scenario.
+
+    Parameters
+    ----------
+    churn_fraction:
+        Fraction of the fleet cycling off/on (0 disables churn).  The
+        affected nodes are drawn once, deterministically, from the fault RNG
+        stream.
+    churn_off_time / churn_on_time:
+        Duration of each offline / online interval in seconds (a fixed duty
+        cycle; each node gets a random phase so outages are staggered).
+    churn_wipe_buffer:
+        Whether a node reboot loses its buffered messages (RAM buffers).
+        Wiped copies are recorded under the ``fault`` drop reason.
+    link_flap_rate:
+        Expected forced link drops per second across the whole network
+        (a Poisson process over the current link set; 0 disables flaps).
+    transfer_fault_prob:
+        Probability that a completed transmission was truncated on the air
+        and must be discarded by the receiver (0 disables transfer faults).
+    """
+
+    churn_fraction: float = 0.0
+    churn_off_time: float = 3600.0
+    churn_on_time: float = 3600.0
+    churn_wipe_buffer: bool = True
+    link_flap_rate: float = 0.0
+    transfer_fault_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ConfigurationError(
+                f"churn_fraction must be in [0, 1]: {self.churn_fraction}"
+            )
+        if self.churn_off_time <= 0 or self.churn_on_time <= 0:
+            raise ConfigurationError(
+                "churn_off_time and churn_on_time must be positive: "
+                f"{self.churn_off_time}, {self.churn_on_time}"
+            )
+        if self.link_flap_rate < 0:
+            raise ConfigurationError(
+                f"link_flap_rate must be non-negative: {self.link_flap_rate}"
+            )
+        if not 0.0 <= self.transfer_fault_prob <= 1.0:
+            raise ConfigurationError(
+                f"transfer_fault_prob must be in [0, 1]: {self.transfer_fault_prob}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the plan injects at least one kind of fault."""
+        return (
+            self.churn_fraction > 0
+            or self.link_flap_rate > 0
+            or self.transfer_fault_prob > 0
+        )
+
+    def replace(self, **changes: Any) -> "FaultPlan":
+        """A copy with *changes* applied (dataclasses.replace wrapper)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON checkpoints, fingerprints)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)

@@ -12,9 +12,9 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.errors import (
-    BufferError_,
     DuplicateMessageError,
     MessageNotFoundError,
+    ReproBufferError,
 )
 from repro.net.message import Message
 
@@ -30,7 +30,7 @@ class MessageBuffer:
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
-            raise BufferError_(f"buffer capacity must be positive: {capacity}")
+            raise ReproBufferError(f"buffer capacity must be positive: {capacity}")
         self.capacity = int(capacity)
         self._messages: dict[str, Message] = {}  # insertion-ordered
         self._used = 0
@@ -89,13 +89,13 @@ class MessageBuffer:
         """Insert *message*; the caller must have ensured space.
 
         Raises :class:`DuplicateMessageError` on id collision and
-        :class:`BufferError_` if the message does not fit — callers are
+        :class:`ReproBufferError` if the message does not fit — callers are
         expected to run the drop policy first, so an overflow here is a bug.
         """
         if message.msg_id in self._messages:
             raise DuplicateMessageError(message.msg_id)
         if message.size > self.free:
-            raise BufferError_(
+            raise ReproBufferError(
                 f"message {message.msg_id} ({message.size}B) exceeds free "
                 f"space ({self.free}B of {self.capacity}B)"
             )
@@ -108,7 +108,7 @@ class MessageBuffer:
         Pinned messages cannot be removed (see :meth:`pin`).
         """
         if self.is_pinned(msg_id):
-            raise BufferError_(f"message {msg_id} is pinned (in transfer)")
+            raise ReproBufferError(f"message {msg_id} is pinned (in transfer)")
         message = self._messages.pop(msg_id, None)
         if message is None:
             raise MessageNotFoundError(msg_id)

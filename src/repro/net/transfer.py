@@ -79,6 +79,12 @@ class TransferManager:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._active: dict[int, Transfer] = {}  # keyed by sender id
+        #: Optional fault model (see :mod:`repro.faults`): an object with a
+        #: ``transfer_fails(transfer) -> bool`` method consulted at completion
+        #: time.  A failed transfer is truncated on the air: the receiver
+        #: never materializes the copy and, because the spray-token protocol
+        #: is two-phase, the sender's tokens are left uncommitted.
+        self.fault_model: object | None = None
 
     # -- queries -----------------------------------------------------------
 
@@ -143,6 +149,17 @@ class TransferManager:
         assert sender.router is not None and receiver.router is not None
         now = self.sim.now
         self._teardown(transfer)
+
+        # Injected mid-transfer fault: the payload was truncated on the air.
+        # The receiver discards the partial copy; no tokens were committed
+        # (two-phase split), so spray accounting is untouched.
+        if self.fault_model is not None and self.fault_model.transfer_fails(  # type: ignore[attr-defined]
+            transfer
+        ):
+            self.sim.listeners.emit("transfer.aborted", transfer)
+            sender.router.try_send()
+            receiver.router.try_send()
+            return
 
         # The payload expired on the air: the sender's copy dies too.
         if message.is_expired(now):

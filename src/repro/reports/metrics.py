@@ -40,6 +40,7 @@ class MetricsCollector:
         self.aborted = 0
         self.started = 0
         self.drops_by_reason: dict[str, int] = {}
+        self.faults_by_kind: dict[str, int] = {}
         self.hop_counts: list[int] = []
         self.latencies: list[float] = []
         self._created_at: dict[str, float] = {}
@@ -56,6 +57,7 @@ class MetricsCollector:
         sim.listeners.subscribe("message.dropped", self._on_dropped)
         sim.listeners.subscribe("transfer.started", self._on_started)
         sim.listeners.subscribe("transfer.aborted", self._on_aborted)
+        sim.listeners.subscribe("fault.injected", self._on_fault)
 
     # -- handlers ----------------------------------------------------------------
 
@@ -95,6 +97,11 @@ class MetricsCollector:
     def _on_aborted(self, transfer: object) -> None:
         self.aborted += 1
 
+    def _on_fault(self, kind: str, now: float) -> None:
+        # Fault counters are not warm-up filtered: outages are a property of
+        # the run, not of any particular message.
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+
     # -- derived metrics -------------------------------------------------------------
 
     @property
@@ -126,6 +133,10 @@ class MetricsCollector:
     @property
     def drops_total(self) -> int:
         return sum(self.drops_by_reason.values())
+
+    @property
+    def faults_total(self) -> int:
+        return sum(self.faults_by_kind.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

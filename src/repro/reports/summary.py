@@ -1,7 +1,14 @@
-"""One run's results as a plain record (sweep rows, table printing)."""
+"""One run's results as a plain record (sweep rows, table printing).
+
+Two record types: :class:`RunSummary` for a completed simulation and
+:class:`FailedRun` for one that died or timed out inside a resilient sweep
+(see :func:`repro.experiments.runner.run_scenario_safe`).  Both round-trip
+through plain dicts so the sweep checkpoint file can persist them as JSONL.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
@@ -27,17 +34,33 @@ class RunSummary:
     overhead_ratio: float
     average_latency: float
     drops: dict[str, int] = field(default_factory=dict)
+    #: Injected-fault counts by kind (empty when the run had no fault plan).
+    faults: dict[str, int] = field(default_factory=dict)
     contacts: int = 0
     mean_intermeeting: float = float("nan")
     wall_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
-        """Flat dict (drops expanded as ``drop_<reason>`` keys)."""
+        """Flat dict (drops/faults expanded as ``drop_<reason>`` keys)."""
         out = asdict(self)
         drops = out.pop("drops")
         for reason, count in drops.items():
             out[f"drop_{reason}"] = count
+        faults = out.pop("faults")
+        for kind, count in faults.items():
+            out[f"fault_{kind}"] = count
         return out
+
+    def record(self) -> dict[str, Any]:
+        """Nested dict that :meth:`from_record` restores exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, data: dict[str, Any]) -> "RunSummary":
+        """Rebuild a summary from :meth:`record` output (JSON round-trip)."""
+        data = dict(data)
+        data["interval_range"] = tuple(data["interval_range"])
+        return cls(**data)
 
     @staticmethod
     def table_header() -> str:
@@ -54,4 +77,41 @@ class RunSummary:
             f"{f'[{lo:.0f},{hi:.0f}]':>10} "
             f"{self.delivery_ratio:>7.3f} {self.average_hopcount:>6.2f} "
             f"{self.overhead_ratio:>7.2f} {self.created:>8}"
+        )
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """A sweep item that did not produce a summary.
+
+    Returned (never raised) by the resilient sweep path so one crashed or
+    hung worker cannot poison a multi-hour grid; results stay in input
+    order with failures in place.
+    """
+
+    scenario: str
+    policy: str
+    seed: int
+    error_type: str
+    error_message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    record = as_dict  # same nested form; kept for symmetry with RunSummary
+
+    @classmethod
+    def from_record(cls, data: dict[str, Any]) -> "FailedRun":
+        return cls(**data)
+
+    def replace_attempts(self, attempts: int) -> "FailedRun":
+        """Copy with the attempt counter updated (retry bookkeeping)."""
+        return dataclasses.replace(self, attempts=attempts)
+
+    def table_row(self) -> str:
+        return (
+            f"{self.policy:<12} FAILED seed={self.seed} "
+            f"{self.error_type}: {self.error_message}"
         )

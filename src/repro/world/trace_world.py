@@ -48,6 +48,10 @@ class TraceWorld:
         self.trace = trace
         self.tick = float(tick)
         self.links: set[tuple[int, int]] = set()
+        #: Nodes currently offline (fault injection).  Trace ``up`` events
+        #: touching a down node are discarded; after a rejoin, connectivity
+        #: resumes at the next recorded contact.
+        self.down_nodes: set[int] = set()
 
     def start(self) -> None:
         """Schedule every trace event plus the recurring maintenance tick."""
@@ -72,6 +76,8 @@ class TraceWorld:
         if up:
             if key in self.links:
                 return  # idempotent against duplicate trace lines
+            if a_id in self.down_nodes or b_id in self.down_nodes:
+                return  # faulted node: the recorded contact never happens
             self.links.add(key)
             a.neighbors[b.id] = b
             b.neighbors[a.id] = a
@@ -83,15 +89,43 @@ class TraceWorld:
         else:
             if key not in self.links:
                 return
-            self.links.discard(key)
-            a.neighbors.pop(b.id, None)
-            b.neighbors.pop(a.id, None)
-            self.transfer_manager.abort_for_link(a, b)
-            self.sim.listeners.emit("link.down", a, b)
-            if a.router is not None:
-                a.router.on_link_down(b)
-            if b.router is not None:
-                b.router.on_link_down(a)
+            self._drop_link(a, b)
+
+    def _drop_link(self, a: Node, b: Node) -> None:
+        self.links.discard((min(a.id, b.id), max(a.id, b.id)))
+        a.neighbors.pop(b.id, None)
+        b.neighbors.pop(a.id, None)
+        self.transfer_manager.abort_for_link(a, b)
+        self.sim.listeners.emit("link.down", a, b)
+        if a.router is not None:
+            a.router.on_link_down(b)
+        if b.router is not None:
+            b.router.on_link_down(a)
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def set_node_down(self, node_id: int) -> None:
+        """Take a node offline: tear down its links and discard its trace
+        contacts until :meth:`set_node_up`."""
+        if node_id in self.down_nodes:
+            return
+        self.down_nodes.add(node_id)
+        for i, j in [pair for pair in self.links if node_id in pair]:
+            self._drop_link(self.nodes[i], self.nodes[j])
+
+    def set_node_up(self, node_id: int) -> None:
+        """Bring a node back online (connectivity resumes at the next
+        recorded contact)."""
+        self.down_nodes.discard(node_id)
+
+    def force_link_down(self, i: int, j: int) -> bool:
+        """Drop the (i, j) link now.  Returns True if the link existed.
+        It re-forms only at the trace's next ``up`` event for the pair."""
+        key = (min(i, j), max(i, j))
+        if key not in self.links:
+            return False
+        self._drop_link(self.nodes[key[0]], self.nodes[key[1]])
+        return True
 
     def _maintain(self) -> None:
         """TTL purge + idle-sender retry (the tick half of World.update)."""

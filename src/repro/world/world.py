@@ -47,6 +47,9 @@ class World:
         self.detector = detector or make_detector(len(nodes))
         self.tick = float(tick)
         self.links: set[tuple[int, int]] = set()
+        #: Nodes currently offline (fault injection); they hold no links and
+        #: the detector's candidate pairs touching them are discarded.
+        self.down_nodes: set[int] = set()
         self.positions = np.zeros((len(nodes), 2))
         self._ranges = np.array([n.radio.range_m for n in self.nodes])
         self._max_range = float(self._ranges.max())
@@ -71,6 +74,12 @@ class World:
         new_links = self.detector.pairs(self.positions, self._max_range)
         if not self._uniform_range:
             new_links = self._filter_heterogeneous(new_links)
+        if self.down_nodes:
+            new_links = {
+                (i, j)
+                for i, j in new_links
+                if i not in self.down_nodes and j not in self.down_nodes
+            }
 
         for i, j in self.links - new_links:
             self._link_down(self.nodes[i], self.nodes[j])
@@ -122,6 +131,32 @@ class World:
             a.router.on_link_down(b)
         if b.router is not None:
             b.router.on_link_down(a)
+
+    # -- fault hooks -------------------------------------------------------
+
+    def set_node_down(self, node_id: int) -> None:
+        """Take a node offline: tear down all its links (aborting in-flight
+        transfers) and keep it unlinkable until :meth:`set_node_up`."""
+        if node_id in self.down_nodes:
+            return
+        self.down_nodes.add(node_id)
+        for i, j in [pair for pair in self.links if node_id in pair]:
+            self.links.discard((i, j))
+            self._link_down(self.nodes[i], self.nodes[j])
+
+    def set_node_up(self, node_id: int) -> None:
+        """Bring a node back online; links re-form on the next tick."""
+        self.down_nodes.discard(node_id)
+
+    def force_link_down(self, i: int, j: int) -> bool:
+        """Drop the (i, j) link now (fault injection).  Returns True if the
+        link existed.  If both nodes stay in range it re-forms next tick."""
+        key = (min(i, j), max(i, j))
+        if key not in self.links:
+            return False
+        self.links.discard(key)
+        self._link_down(self.nodes[key[0]], self.nodes[key[1]])
+        return True
 
     # -- convenience -------------------------------------------------------
 

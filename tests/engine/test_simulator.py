@@ -91,6 +91,18 @@ class TestRunControl:
         sim.run()
         assert fired == [1, 2]
 
+    def test_stop_freezes_clock_mid_run(self):
+        # stop() must leave the clock at the stopping event's time, not
+        # advance it to the horizon — crash-safe sweeps rely on sim.now
+        # reflecting how far a halted run actually got.
+        sim = Simulator(end_time=100.0)
+        sim.schedule_at(7.0, sim.stop)
+        sim.schedule_at(50.0, lambda: None)
+        sim.run()
+        assert sim.now == 7.0
+        sim.run()
+        assert sim.now == 100.0
+
     def test_events_processed_counter(self):
         sim = Simulator(end_time=10.0)
         for t in (1.0, 2.0, 3.0):

@@ -1,0 +1,149 @@
+"""Sweep checkpoints: fingerprints, persistence, resume semantics."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.experiments.checkpoint import SweepCheckpoint, config_fingerprint
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import random_waypoint_scenario, scale_scenario
+from repro.experiments.sweep import run_many
+from repro.reports.summary import FailedRun, RunSummary
+
+
+def tiny(**kw):
+    cfg = scale_scenario(
+        random_waypoint_scenario(policy="fifo"), node_factor=0.08,
+        time_factor=0.04,
+    )
+    return cfg.replace(**kw) if kw else cfg
+
+
+def broken(**kw):
+    """Passes validation but dies in build_scenario (missing trace file)."""
+    return tiny(mobility="trace", trace_path="/nonexistent/contacts.txt", **kw)
+
+
+def stable(records):
+    """Summary records with wall-clock timing and NaN identity normalized."""
+    out = []
+    for r in records:
+        data = r.record()
+        data.pop("wall_seconds", None)
+        for key, value in data.items():
+            if isinstance(value, float) and math.isnan(value):
+                data[key] = "nan"  # NaN != NaN would fail equality checks
+        out.append(data)
+    return out
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configs(self):
+        assert config_fingerprint(tiny()) == config_fingerprint(tiny())
+
+    def test_any_field_change_changes_it(self):
+        base = config_fingerprint(tiny())
+        assert config_fingerprint(tiny(seed=2)) != base
+        assert config_fingerprint(tiny(policy="sdsrp")) != base
+
+
+class TestPersistence:
+    def test_summary_roundtrip_including_nan(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        summary = run_scenario(tiny())
+        assert math.isnan(summary.mean_intermeeting) or True  # either way
+        SweepCheckpoint(path).record("k1", summary)
+        loaded = SweepCheckpoint(path).completed("k1")
+        assert isinstance(loaded, RunSummary)
+        assert stable([loaded]) == stable([summary])
+
+    def test_failed_runs_are_loaded_but_not_completed(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        failure = FailedRun("s", "fifo", 1, "RuntimeError", "boom")
+        SweepCheckpoint(path).record("k1", failure)
+        ckpt = SweepCheckpoint(path)
+        assert ckpt.completed("k1") is None  # resume must retry it
+        assert ckpt.failed("k1") == failure
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = SweepCheckpoint(path)
+        ckpt.record("k1", FailedRun("s", "fifo", 1, "RuntimeError", "boom"))
+        summary = run_scenario(tiny())
+        ckpt.record("k1", summary)
+        reloaded = SweepCheckpoint(path)
+        assert reloaded.completed("k1") is not None
+        assert reloaded.failed("k1") is None
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        SweepCheckpoint(path).record("k1", run_scenario(tiny()))
+        with open(path, "a") as fh:
+            fh.write('{"key": "k2", "kind": "summary", "data": {"sc')
+        ckpt = SweepCheckpoint(path)
+        assert len(ckpt) == 1
+        assert ckpt.completed("k1") is not None
+        assert ckpt.completed("k2") is None
+
+
+class TestResumedSweeps:
+    def test_resume_reuses_results_identically(self, tmp_path):
+        configs = [tiny(seed=s) for s in (5, 6, 7)]
+        uninterrupted = run_many(configs, workers=1)
+
+        # "Killed" sweep: only the first two items got checkpointed.
+        path = tmp_path / "ckpt.jsonl"
+        partial = run_many(configs[:2], workers=1, checkpoint=str(path))
+        assert stable(partial) == stable(uninterrupted[:2])
+
+        # Resume over the full grid: completed runs come from the file.
+        resumed = run_many(configs, workers=1, checkpoint=str(path))
+        assert stable(resumed) == stable(uninterrupted)
+        # The reused entries are the recorded objects, not re-runs: their
+        # recorded wall clocks match the checkpointed ones exactly.
+        reloaded = SweepCheckpoint(path)
+        for cfg, result in zip(configs[:2], resumed[:2]):
+            hit = reloaded.completed(config_fingerprint(cfg))
+            assert hit == result
+
+    def test_resumed_failures_are_retried(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        cfg = tiny(seed=9)
+        ckpt = SweepCheckpoint(path)
+        ckpt.record(
+            config_fingerprint(cfg),
+            FailedRun(cfg.name, cfg.policy, cfg.seed, "OSError", "flaky disk"),
+        )
+        [result] = run_many([cfg], workers=1, checkpoint=str(path))
+        assert isinstance(result, RunSummary)
+
+    def test_checkpoint_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_many([tiny(seed=3), broken()], workers=1, checkpoint=str(path))
+        lines = [json.loads(x) for x in path.read_text().splitlines() if x]
+        assert {entry["kind"] for entry in lines} == {"summary", "failed"}
+
+
+class TestFailureOrdering:
+    def test_failed_runs_stay_in_input_order(self):
+        configs = [tiny(seed=5), broken(seed=6), tiny(seed=7)]
+        results = run_many(configs, workers=1, safe=True)
+        assert isinstance(results[0], RunSummary) and results[0].seed == 5
+        assert isinstance(results[1], FailedRun) and results[1].seed == 6
+        assert isinstance(results[2], RunSummary) and results[2].seed == 7
+
+    def test_failed_runs_in_order_across_processes(self):
+        configs = [tiny(seed=5), broken(seed=6), tiny(seed=7)]
+        parallel = run_many(configs, workers=2, safe=True)
+        serial = run_many(configs, workers=1, safe=True)
+        assert stable(
+            [r for r in parallel if isinstance(r, RunSummary)]
+        ) == stable([r for r in serial if isinstance(r, RunSummary)])
+        assert isinstance(parallel[1], FailedRun)
+        assert parallel[1].error_type == serial[1].error_type
+
+    def test_retries_use_fresh_seeds_and_count_attempts(self):
+        [result] = run_many([broken(seed=4)], workers=1, retries=2)
+        assert isinstance(result, FailedRun)
+        assert result.attempts == 3

@@ -76,3 +76,64 @@ def test_run_epfl_scenario(capsys):
     assert main(["run", "--scenario", "epfl", "--policy", "snw-c",
                  "--reduced"]) == 0
     assert "snw-c" in capsys.readouterr().out
+
+
+def test_run_with_churn(capsys, tmp_path):
+    out_file = tmp_path / "churn.json"
+    assert main(["run", "--reduced", "--policy", "fifo", "--churn", "0.4",
+                 "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["fault_node_down"] >= 1
+
+
+def test_fig8_churn_axis(capsys, monkeypatch):
+    monkeypatch.setattr(F, "REDUCED_CHURN", (0.0, 0.4))
+    assert main(["fig8", "--axis", "churn", "--policies", "fifo",
+                 "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8(churn)" in out
+    assert "churned node fraction" in out
+
+
+def test_fig8_resume_reuses_checkpointed_results(capsys, tmp_path, monkeypatch):
+    # "Killed" sweep: only the 1-point grid got checkpointed.
+    monkeypatch.setattr(F, "REDUCED_COPIES", (16,))
+    ckpt = tmp_path / "sweep.jsonl"
+    assert main(["fig8", "--axis", "copies", "--policies", "fifo",
+                 "--workers", "1", "--resume", str(ckpt)]) == 0
+    recorded = ckpt.read_text()
+    assert recorded
+
+    # Resume over the full grid vs. an uninterrupted fresh sweep.
+    monkeypatch.setattr(F, "REDUCED_COPIES", (16, 32))
+    resumed_json = tmp_path / "resumed.json"
+    assert main(["fig8", "--axis", "copies", "--policies", "fifo",
+                 "--workers", "1", "--resume", str(ckpt),
+                 "--json", str(resumed_json)]) == 0
+    fresh_json = tmp_path / "fresh.json"
+    assert main(["fig8", "--axis", "copies", "--policies", "fifo",
+                 "--workers", "1", "--json", str(fresh_json)]) == 0
+
+    resumed = json.loads(resumed_json.read_text())
+    fresh = json.loads(fresh_json.read_text())
+    assert json.dumps(resumed["series"], sort_keys=True) == json.dumps(
+        fresh["series"], sort_keys=True
+    )
+    # The checkpoint was appended to, never rewritten.
+    assert ckpt.read_text().startswith(recorded)
+
+
+def test_sweep_reports_failures_and_exits_nonzero(capsys, tmp_path,
+                                                 monkeypatch):
+    # Make every grid point fail at build time: the scenario factory now
+    # demands a trace file that does not exist.
+    import repro.experiments.scenario as S
+    broken = S.random_waypoint_scenario().replace(
+        mobility="trace", trace_path=str(tmp_path / "missing.txt")
+    )
+    monkeypatch.setattr(F, "random_waypoint_scenario", lambda: broken)
+    monkeypatch.setattr(F, "REDUCED_COPIES", (16,))
+    assert main(["fig8", "--axis", "copies", "--policies", "fifo",
+                 "--workers", "1", "--retries", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out

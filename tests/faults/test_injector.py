@@ -1,0 +1,210 @@
+"""Fault injector and the world-level fault hooks it drives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import FaultInjectionError
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.injector import (
+    KIND_LINK_FLAP,
+    KIND_NODE_DOWN,
+    KIND_NODE_UP,
+    KIND_TRANSFER_FAULT,
+)
+from repro.net.transfer import TransferManager
+from repro.policies.fifo import FifoPolicy
+from repro.routing.spray_and_wait import SprayAndWaitRouter
+from repro.traces.contact_trace import ContactEvent, ContactTrace
+from repro.units import kbps, megabytes
+from repro.world.node import Node
+from repro.world.radio import Radio
+from repro.world.trace_world import TraceWorld
+from tests.helpers import build_micro_world, make_message, total_copies_in_network
+
+LINKED = [(0.0, 0.0), (50.0, 0.0)]       # inside the 100 m default range
+APART = [(0.0, 0.0), (500.0, 0.0)]       # never in range
+
+
+class TestWorldFaultHooks:
+    def test_node_down_drops_links_and_blocks_reforming(self):
+        mw = build_micro_world(points=LINKED, sim_time=30.0)
+        mw.sim.run(until=2.0)
+        assert (0, 1) in mw.world.links
+
+        mw.world.set_node_down(0)
+        assert mw.world.links == set()
+        assert not mw.nodes[0].neighbors and not mw.nodes[1].neighbors
+        mw.sim.run(until=5.0)  # ticks pass; the link must stay down
+        assert mw.world.links == set()
+
+        mw.world.set_node_up(0)
+        mw.sim.run(until=7.0)  # re-forms at the next world tick
+        assert (0, 1) in mw.world.links
+
+    def test_force_link_down_reports_existence(self):
+        mw = build_micro_world(points=LINKED, sim_time=30.0)
+        mw.sim.run(until=2.0)
+        assert mw.world.force_link_down(1, 0) is True  # order-insensitive
+        assert (0, 1) not in mw.world.links
+        assert mw.world.force_link_down(0, 1) is False
+        mw.sim.run(until=4.0)  # both endpoints healthy: re-forms next tick
+        assert (0, 1) in mw.world.links
+
+
+class TestTraceWorldFaultHooks:
+    def build(self, trace: ContactTrace, sim_time: float = 30.0):
+        sim = Simulator(end_time=sim_time)
+        radio = Radio(100.0, kbps(250))
+        nodes = [Node(i, radio, megabytes(2.5)) for i in range(2)]
+        tm = TransferManager(sim)
+        for node in nodes:
+            SprayAndWaitRouter(node, FifoPolicy()).bind(sim, tm, 2)
+        world = TraceWorld(sim, nodes, tm, trace)
+        world.start()
+        return sim, world
+
+    def test_down_node_discards_recorded_contacts(self):
+        trace = ContactTrace([
+            ContactEvent(1.0, 0, 1, True),
+            ContactEvent(5.0, 0, 1, False),
+            ContactEvent(10.0, 0, 1, True),
+        ])
+        sim, world = self.build(trace)
+        ups = []
+        sim.listeners.subscribe("link.up", lambda a, b: ups.append(sim.now))
+        world.set_node_down(0)
+        sim.schedule_at(7.0, world.set_node_up, 0)
+        sim.run()
+        # The 1.0 contact never happens; rejoining at 7.0 resumes at the
+        # next recorded contact (10.0).
+        assert ups == [10.0]
+
+    def test_set_node_down_tears_down_live_links(self):
+        trace = ContactTrace([ContactEvent(1.0, 0, 1, True)])
+        sim, world = self.build(trace)
+        downs = []
+        sim.listeners.subscribe("link.down", lambda a, b: downs.append(sim.now))
+        sim.schedule_at(3.0, world.set_node_down, 1)
+        sim.run()
+        assert downs == [3.0]
+        assert world.links == set()
+
+    def test_force_link_down_reforms_at_next_trace_up(self):
+        trace = ContactTrace([
+            ContactEvent(1.0, 0, 1, True),
+            ContactEvent(10.0, 0, 1, True),  # duplicate while up; re-up after flap
+            ContactEvent(15.0, 0, 1, False),
+        ])
+        sim, world = self.build(trace)
+        ups = []
+        sim.listeners.subscribe("link.up", lambda a, b: ups.append(sim.now))
+        sim.schedule_at(2.0, world.force_link_down, 0, 1)
+        sim.run()
+        assert ups == [1.0, 10.0]
+
+
+class TestChurnInjection:
+    def test_churn_cycles_and_wipes_buffers(self):
+        # Nodes out of range: buffered messages sit still until churned away.
+        mw = build_micro_world(points=APART, sim_time=50.0)
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        plan = FaultPlan(
+            churn_fraction=1.0, churn_off_time=10.0, churn_on_time=10.0
+        )
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(3))
+        injector.start()
+        mw.sim.run()
+
+        assert injector.churned_nodes == (0, 1)
+        assert injector.counts[KIND_NODE_DOWN] >= 2
+        assert injector.counts[KIND_NODE_UP] >= 1
+        # The reboot lost node 0's buffered copy, under the fault reason.
+        assert mw.metrics.drops_by_reason.get("fault", 0) >= 1
+        assert len(mw.nodes[0].buffer) == 0
+        # Counters flowed through the fault.injected topic into metrics.
+        assert mw.metrics.faults_by_kind == injector.counts
+
+    def test_wipe_can_be_disabled(self):
+        mw = build_micro_world(points=APART, sim_time=50.0)
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        plan = FaultPlan(
+            churn_fraction=1.0, churn_off_time=10.0, churn_on_time=10.0,
+            churn_wipe_buffer=False,
+        )
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(3))
+        injector.start()
+        mw.sim.run()
+        assert "fault" not in mw.metrics.drops_by_reason
+        assert "M1" in mw.nodes[0].buffer
+
+    def test_zero_fraction_rounds_to_no_churn(self):
+        mw = build_micro_world(points=APART, sim_time=20.0)
+        plan = FaultPlan(churn_fraction=0.1, churn_off_time=5.0,
+                         churn_on_time=5.0)  # round(0.1 * 2) == 0 nodes
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(0))
+        injector.start()
+        mw.sim.run()
+        assert injector.churned_nodes == ()
+        assert injector.counts == {}
+
+
+class TestLinkFlaps:
+    def test_flaps_are_counted_and_links_recover(self):
+        mw = build_micro_world(points=LINKED, sim_time=100.0)
+        plan = FaultPlan(link_flap_rate=0.2)
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(7))
+        injector.start()
+        mw.sim.run()
+        assert injector.counts[KIND_LINK_FLAP] >= 1
+        # Both endpoints stayed healthy, so the final tick re-formed the link.
+        assert (0, 1) in mw.world.links
+
+
+class TestTransferFaults:
+    def test_certain_fault_blocks_all_deliveries(self):
+        mw = build_micro_world(points=LINKED, sim_time=100.0)
+        plan = FaultPlan(transfer_fault_prob=1.0)
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(1))
+        injector.start()
+        mw.router(0).create_message(make_message(source=0, destination=1))
+        mw.sim.run()
+
+        assert injector.counts[KIND_TRANSFER_FAULT] >= 1
+        assert mw.metrics.delivered == 0
+        assert mw.metrics.relayed == 0
+        assert "M1" not in mw.nodes[1].buffer
+        # Two-phase split: no spray tokens were committed by failed sends.
+        assert total_copies_in_network(mw, "M1") == 16
+        # The sender kept retrying (each completion failed and re-queued), so
+        # at most its own in-flight retry remains at the horizon.
+        assert mw.transfer_manager.active_count <= 1
+
+    def test_zero_probability_never_consults_rng(self):
+        mw = build_micro_world(points=LINKED, sim_time=60.0)
+        plan = FaultPlan(churn_fraction=0.0, transfer_fault_prob=0.0)
+        injector = FaultInjector(mw.world, plan, np.random.default_rng(1))
+        injector.start()
+        assert mw.transfer_manager.fault_model is None
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        mw = build_micro_world(points=LINKED, sim_time=10.0)
+        injector = FaultInjector(
+            mw.world, FaultPlan(link_flap_rate=0.1), np.random.default_rng(0)
+        )
+        injector.start()
+        with pytest.raises(FaultInjectionError):
+            injector.start()
+
+    def test_conflicting_fault_model_raises(self):
+        mw = build_micro_world(points=LINKED, sim_time=10.0)
+        plan = FaultPlan(transfer_fault_prob=0.5)
+        first = FaultInjector(mw.world, plan, np.random.default_rng(0))
+        first.start()
+        second = FaultInjector(mw.world, plan, np.random.default_rng(1))
+        with pytest.raises(FaultInjectionError):
+            second.start()

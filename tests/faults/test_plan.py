@@ -1,0 +1,71 @@
+"""FaultPlan: validation, enabled flag, dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    def test_defaults_are_valid_and_disabled(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.01])
+    def test_rejects_churn_fraction_out_of_range(self, fraction):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(churn_fraction=fraction)
+
+    @pytest.mark.parametrize(
+        "kw", [{"churn_off_time": 0.0}, {"churn_on_time": -5.0}]
+    )
+    def test_rejects_nonpositive_churn_times(self, kw):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kw)
+
+    def test_rejects_negative_flap_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(link_flap_rate=-1.0)
+
+    @pytest.mark.parametrize("prob", [-0.5, 1.5])
+    def test_rejects_transfer_prob_out_of_range(self, prob):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(transfer_fault_prob=prob)
+
+
+class TestEnabled:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"churn_fraction": 0.2},
+            {"link_flap_rate": 0.01},
+            {"transfer_fault_prob": 0.1},
+        ],
+    )
+    def test_any_active_knob_enables(self, kw):
+        assert FaultPlan(**kw).enabled
+
+    def test_wipe_flag_alone_does_not_enable(self):
+        # churn_wipe_buffer only matters once churn itself is on.
+        assert not FaultPlan(churn_wipe_buffer=False).enabled
+
+
+class TestRoundTrip:
+    def test_as_dict_from_dict(self):
+        plan = FaultPlan(
+            churn_fraction=0.3,
+            churn_off_time=600.0,
+            churn_on_time=1200.0,
+            churn_wipe_buffer=False,
+            link_flap_rate=0.02,
+            transfer_fault_prob=0.05,
+        )
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_replace_validates(self):
+        plan = FaultPlan(churn_fraction=0.3)
+        assert plan.replace(churn_fraction=0.5).churn_fraction == 0.5
+        with pytest.raises(ConfigurationError):
+            plan.replace(churn_fraction=2.0)

@@ -7,7 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import (
-    BufferError_,
+    ReproBufferError,
     DuplicateMessageError,
     MessageNotFoundError,
 )
@@ -29,12 +29,12 @@ class TestAccounting:
         assert (buf.used, buf.free, len(buf)) == (200, 800, 1)
 
     def test_rejects_nonpositive_capacity(self):
-        with pytest.raises(BufferError_):
+        with pytest.raises(ReproBufferError):
             MessageBuffer(0)
 
     def test_add_overflow_is_an_error(self):
         buf = MessageBuffer(100)
-        with pytest.raises(BufferError_):
+        with pytest.raises(ReproBufferError):
             buf.add(msg(1, 101))
 
     def test_duplicate_id_rejected(self):
@@ -78,7 +78,7 @@ class TestPinning:
         buf = MessageBuffer(1000)
         buf.add(msg(1))
         buf.pin("M1")
-        with pytest.raises(BufferError_):
+        with pytest.raises(ReproBufferError):
             buf.remove("M1")
         buf.unpin("M1")
         buf.remove("M1")

@@ -1,11 +1,36 @@
-"""Process-pool map: ordering, serial/parallel equivalence."""
+"""Process-pool map: ordering, serial/parallel equivalence, resilience."""
 
 from __future__ import annotations
 
-from repro.parallel.pool import default_workers, parallel_map
+import os
+import time
+
+import pytest
+
+from repro.errors import SweepInterrupted
+from repro.parallel.pool import _pool_context, default_workers, parallel_map
 
 
 def square(x: int) -> int:
+    return x * x
+
+
+def flaky(x: int) -> int:
+    """Raises on negative inputs (picklable, for spawn workers)."""
+    if x < 0:
+        raise ValueError(f"bad item {x}")
+    return x * x
+
+
+def hang_or_square(x):
+    if x == "hang":
+        time.sleep(60.0)
+    return x * x
+
+
+def die_or_square(x):
+    if x == "die":
+        os._exit(1)  # hard worker death, not an exception
     return x * x
 
 
@@ -30,3 +55,72 @@ def test_parallel_matches_serial_order():
 
 def test_default_workers_positive():
     assert default_workers() >= 1
+
+
+def test_pool_uses_spawn_start_method():
+    # Workers must not inherit forked parent state (macOS/Windows parity).
+    assert _pool_context().get_start_method() == "spawn"
+
+
+class TestOnError:
+    def test_serial_on_error_takes_the_slot(self):
+        calls = []
+
+        def absorb(item, exc):
+            calls.append((item, type(exc)))
+            return -1
+
+        got = parallel_map(flaky, [2, -3, 4], workers=1, on_error=absorb)
+        assert got == [4, -1, 16]
+        assert calls == [(-3, ValueError)]
+
+    def test_parallel_on_error_takes_the_slot(self):
+        got = parallel_map(
+            flaky, [2, -3, 4], workers=2, on_error=lambda item, exc: -1
+        )
+        assert got == [4, -1, 16]
+
+    def test_without_on_error_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            parallel_map(flaky, [2, -3, 4], workers=1)
+        with pytest.raises(ValueError):
+            parallel_map(flaky, [2, -3, 4], workers=2)
+
+
+class TestOnResult:
+    def test_reports_in_input_order(self):
+        seen = []
+        parallel_map(
+            square, [3, 1, 2], workers=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert seen == [(0, 9), (1, 1), (2, 4)]
+
+
+class TestTimeout:
+    def test_hung_item_becomes_error_and_rest_complete(self):
+        got = parallel_map(
+            hang_or_square, [2, "hang", 3], workers=2, timeout=1.0,
+            on_error=lambda item, exc: "timed-out",
+        )
+        assert got == [4, "timed-out", 9]
+
+    def test_timeout_without_on_error_raises(self):
+        with pytest.raises(SweepInterrupted):
+            parallel_map(hang_or_square, [2, "hang", 3], workers=2,
+                         timeout=1.0)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_becomes_error_and_rest_complete(self):
+        got = parallel_map(
+            die_or_square, [2, "die", 3, 4], workers=2, timeout=30.0,
+            on_error=lambda item, exc: "crashed",
+        )
+        # A dying worker breaks the whole pool, so item 0 is "crashed" too
+        # unless its future resolved before the break — both are valid.
+        assert got[0] in (4, "crashed")
+        assert got[1] == "crashed"
+        # Items after the rebuild still completed.
+        assert got[2:] == [9, 16]
+

@@ -1,6 +1,6 @@
-"""RunSummary record formatting."""
+"""RunSummary / FailedRun record formatting and round-trips."""
 
-from repro.reports.summary import RunSummary
+from repro.reports.summary import FailedRun, RunSummary
 from repro.units import megabytes
 
 
@@ -21,17 +21,26 @@ def sample() -> RunSummary:
         overhead_ratio=14.0,
         average_latency=2500.0,
         drops={"overflow": 900, "ttl": 10},
+        faults={"node_down": 4, "link_flap": 2},
         contacts=1234,
         mean_intermeeting=2000.0,
     )
 
 
-def test_as_dict_expands_drops():
+def test_as_dict_expands_drops_and_faults():
     d = sample().as_dict()
     assert d["drop_overflow"] == 900
     assert d["drop_ttl"] == 10
+    assert d["fault_node_down"] == 4
+    assert d["fault_link_flap"] == 2
     assert "drops" not in d
+    assert "faults" not in d
     assert d["policy"] == "sdsrp"
+
+
+def test_record_round_trip():
+    s = sample()
+    assert RunSummary.from_record(s.record()) == s
 
 
 def test_table_row_alignment():
@@ -41,3 +50,11 @@ def test_table_row_alignment():
     assert "sdsrp" in row
     assert "2.5MB" in row
     assert "[25,35]" in row
+
+
+def test_failed_run_record_and_row():
+    f = FailedRun("rwp", "fifo", 3, "TimeoutError", "hung", attempts=2)
+    assert FailedRun.from_record(f.record()) == f
+    assert f.replace_attempts(5).attempts == 5
+    row = f.table_row()
+    assert "FAILED" in row and "TimeoutError" in row

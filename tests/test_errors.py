@@ -6,11 +6,17 @@ from repro import errors
 
 
 def test_all_derive_from_repro_error():
-    for name in ("ConfigurationError", "SimulationError", "BufferError_",
+    for name in ("ConfigurationError", "SimulationError", "ReproBufferError",
                  "MessageNotFoundError", "DuplicateMessageError",
-                 "TransferError", "TraceFormatError", "SchedulingError"):
+                 "TransferError", "TraceFormatError", "SchedulingError",
+                 "FaultInjectionError", "SweepInterrupted"):
         exc = getattr(errors, name)
         assert issubclass(exc, errors.ReproError), name
+
+
+def test_deprecated_buffer_error_alias():
+    # The old trailing-underscore name remains importable and identical.
+    assert errors.BufferError_ is errors.ReproBufferError
 
 
 def test_message_not_found_is_key_error():
