@@ -2,13 +2,31 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint sanitize-smoke bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static layer: repo-specific AST lint (REP001..REP007, see
+# docs/static_analysis.md) plus mypy on the core packages when available
+# (mypy is a CI dependency, not a runtime one).
+lint:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src tests benchmarks
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/core src/repro/net src/repro/policies; \
+	else \
+		echo "mypy not installed; skipping type check (CI runs it)"; \
+	fi
+
+# Dynamic layer: reduced paper scenarios with every runtime invariant
+# checked each tick (buffer accounting, pins, TTL, spray-token budget,
+# single commit). Serial on purpose: a violation must point at one run.
+sanitize-smoke:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy sdsrp --reduced
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.experiments fig8 --axis copies --policies sdsrp --workers 1
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -33,9 +33,9 @@ Subpackages
 """
 
 from repro.errors import (
-    BufferError_,  # deprecated alias of ReproBufferError
     ConfigurationError,
     FaultInjectionError,
+    InvariantViolation,
     ReproBufferError,
     ReproError,
     SimulationError,
@@ -44,12 +44,12 @@ from repro.errors import (
     TransferError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "BufferError_",
     "ConfigurationError",
     "FaultInjectionError",
+    "InvariantViolation",
     "ReproBufferError",
     "ReproError",
     "SimulationError",
@@ -58,3 +58,12 @@ __all__ = [
     "TransferError",
     "__version__",
 ]
+
+
+def __getattr__(name: str) -> object:
+    """Forward deprecated names to :mod:`repro.errors` (warns on access)."""
+    if name == "BufferError_":
+        from repro import errors
+
+        return getattr(errors, "BufferError_")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

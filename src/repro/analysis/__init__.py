@@ -1,6 +1,8 @@
 """Analysis tools: distribution fitting (Fig. 3), priority curves (Fig. 4),
-and ordering/trend comparison (the reproduction contract as code)."""
+ordering/trend comparison (the reproduction contract as code), and the
+runtime invariant sanitizer."""
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.analysis.comparison import (
     crossovers,
     dominates,
@@ -16,6 +18,7 @@ from repro.analysis.taylor import (
 
 __all__ = [
     "ExponentialFit",
+    "Sanitizer",
     "crossovers",
     "dominates",
     "policy_ranking",

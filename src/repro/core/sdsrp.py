@@ -42,6 +42,7 @@ from repro.core.priority import (
 from repro.core.spray_tree import estimate_infected
 from repro.errors import ConfigurationError
 from repro.net.message import Message
+from repro.net.outcomes import DROP_OVERFLOW
 from repro.policies.base import BufferPolicy, PolicyContext
 from repro.world.node import Node
 
@@ -190,7 +191,7 @@ class SdsrpPolicy(BufferPolicy):
         return True
 
     def on_message_dropped(self, message: Message, now: float, reason: str) -> None:
-        if self.params.gossip_drops and reason == "overflow":
+        if self.params.gossip_drops and reason == DROP_OVERFLOW:
             assert self.dropped is not None
             self.dropped.record_drop(message.msg_id, now, message.expires_at())
 

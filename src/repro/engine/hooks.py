@@ -7,13 +7,17 @@ library:
 ``message.created``      (message)
 ``message.relayed``      (message, from_node, to_node, is_delivery)
 ``message.delivered``    (message, from_node, to_node)   — first delivery only
-``message.dropped``      (message, node, reason)         — reason: "overflow" | "ttl" | "rejected"
+``message.dropped``      (message, node, reason)         — reason: one of
+                         :data:`repro.net.outcomes.DROP_REASONS`
+                         ("overflow" | "ttl" | "no_room" | "fault")
 ``message.expired``      (message, node)                 — TTL drops (also emitted as dropped/ttl)
 ``transfer.started``     (transfer)
+``transfer.commit``      (transfer)  — spray-token halving about to apply
 ``transfer.aborted``     (transfer)
 ``link.up``              (node_a, node_b)
 ``link.down``            (node_a, node_b)
 ``world.updated``        (time)
+``fault.injected``       (kind, time)
 
 Listeners fire in registration order; exceptions propagate (a broken listener
 should fail the run loudly rather than silently skew metrics).

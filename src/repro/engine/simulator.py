@@ -11,6 +11,7 @@ refreshed before message logic at the same instant.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from typing import Any
 
@@ -28,12 +29,23 @@ class Simulator:
     end_time:
         Simulation horizon in seconds.  Events scheduled past the horizon are
         accepted but never fire.
+    sanitize:
+        Request runtime invariant checking (see
+        :mod:`repro.analysis.sanitizer`).  ``None`` (the default) defers to
+        the ``REPRO_SANITIZE`` environment variable ("1"/"true"/"yes" enable
+        it).  The flag only records intent — scenario builders consult
+        :attr:`sanitize` and install the sanitizer listeners; a bare
+        Simulator does not check anything by itself.
     """
 
-    def __init__(self, end_time: float) -> None:
+    def __init__(self, end_time: float, sanitize: bool | None = None) -> None:
         if end_time <= 0:
             raise SchedulingError(f"end_time must be positive, got {end_time}")
         self.end_time = float(end_time)
+        if sanitize is None:
+            env = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+            sanitize = env in ("1", "true", "yes")
+        self.sanitize = bool(sanitize)
         self.clock = Clock(0.0)
         self.queue = EventQueue()
         self.listeners = ListenerRegistry()

@@ -24,11 +24,6 @@ class ReproBufferError(ReproError):
     """Buffer accounting violation (offered message cannot fit at all, etc.)."""
 
 
-#: Deprecated alias — the old trailing-underscore name confusingly shadowed
-#: the :class:`BufferError` builtin.  Kept for backward compatibility.
-BufferError_ = ReproBufferError
-
-
 class MessageNotFoundError(ReproBufferError, KeyError):
     """Lookup of a message id in a buffer failed."""
 
@@ -56,3 +51,57 @@ class FaultInjectionError(ReproError):
 class SweepInterrupted(ReproError):
     """A sweep item could not complete (timeout / worker death) and no
     failure handler was installed to absorb it."""
+
+
+class InvariantViolation(SimulationError):
+    """The runtime sanitizer caught a broken simulation invariant.
+
+    Raised by :class:`repro.analysis.sanitizer.Sanitizer` with enough
+    structure to locate the bug: which invariant, on which node, for which
+    message, at what simulation time.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        node_id: int | None = None,
+        msg_id: str | None = None,
+        time: float | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.node_id = node_id
+        self.msg_id = msg_id
+        self.time = time
+        where = []
+        if node_id is not None:
+            where.append(f"node={node_id}")
+        if msg_id is not None:
+            where.append(f"msg={msg_id}")
+        if time is not None:
+            where.append(f"t={time:.3f}")
+        suffix = f" [{' '.join(where)}]" if where else ""
+        super().__init__(f"{invariant}: {detail}{suffix}")
+
+
+def __getattr__(name: str) -> type[ReproError]:
+    """Deprecated aliases kept importable for external users.
+
+    ``BufferError_`` (the old trailing-underscore name that shadowed the
+    :class:`BufferError` builtin) emits :class:`DeprecationWarning` on
+    access; first-party code must use :class:`ReproBufferError` directly
+    (enforced by reprolint REP007).
+    """
+    if name == "BufferError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.BufferError_ is deprecated; use "
+            "repro.errors.ReproBufferError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ReproBufferError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -61,7 +61,8 @@ def _dump_json(path: str, payload: Any) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     base = random_waypoint_scenario() if args.scenario == "rwp" else epfl_scenario()
     config = base.replace(
-        policy=args.policy, seed=args.seed, initial_copies=args.copies
+        policy=args.policy, seed=args.seed, initial_copies=args.copies,
+        sanitize=args.sanitize,
     )
     if args.reduced:
         config = F.reduced(config)
@@ -169,6 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--churn", type=float, default=0.0, metavar="FRACTION",
                        help="cycle this fraction of nodes off/on "
                             "(1/5-horizon duty cycle)")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="validate runtime invariants every tick "
+                            "(see docs/static_analysis.md)")
 
     p_fig3 = sub.add_parser("fig3", help="intermeeting distribution fit")
     _add_common(p_fig3)

@@ -13,6 +13,7 @@ import time
 import traceback
 from dataclasses import dataclass
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.core.oracle import GlobalInfectionOracle
 from repro.core.params import ESTIMATOR_ORACLE, SdsrpParams
 from repro.core.sdsrp import SdsrpPolicy, SdsrpShared
@@ -62,6 +63,7 @@ class BuiltSimulation:
     shared: SdsrpShared | None
     buffer_report: BufferReport | None
     fault_injector: FaultInjector | None = None
+    sanitizer: Sanitizer | None = None
 
 
 def _make_mobility(config: ScenarioConfig) -> MobilityModel:
@@ -154,9 +156,16 @@ def _make_router(config: ScenarioConfig, node: Node, policy: BufferPolicy) -> Ro
     raise ConfigurationError(f"unknown router {config.router!r}")
 
 
+#: Routers whose forwarding conserves spray tokens, enabling the sanitizer's
+#: copy-conservation invariant.  Source spray ("snw-source") and
+#: clone-everything routers (epidemic, prophet, …) inflate token sums by
+#: design, so only the check's cheaper invariants apply to them.
+_TOKEN_CONSERVING_ROUTERS = ("snw", "snf")
+
+
 def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
     """Assemble the simulator stack without running it."""
-    sim = Simulator(end_time=config.sim_time)
+    sim = Simulator(end_time=config.sim_time, sanitize=config.sanitize or None)
     rng = RngFactory(config.seed)
 
     mobility = _make_mobility(config)
@@ -173,7 +182,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
     for node, policy in zip(nodes, policies):
         router = _make_router(config, node, policy)
         router.deliverable_first = config.deliverable_first
-        router.bind(sim, transfer_manager, config.n_nodes)
+        router.bind(sim, transfer_manager, config.n_nodes, rng=rng)
 
     metrics = MetricsCollector(warmup=config.metrics_warmup)
     metrics.subscribe(sim)
@@ -204,6 +213,13 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
     if config.faults is not None and config.faults.enabled:
         fault_injector = FaultInjector(world, config.faults, rng.stream("faults"))
         fault_injector.start()
+
+    sanitizer = None
+    if sim.sanitize:
+        sanitizer = Sanitizer(
+            nodes, check_copies=config.router in _TOKEN_CONSERVING_ROUTERS
+        )
+        sanitizer.subscribe(sim)
     return BuiltSimulation(
         config=config,
         sim=sim,
@@ -215,6 +231,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
         shared=shared,
         buffer_report=buffer_report,
         fault_injector=fault_injector,
+        sanitizer=sanitizer,
     )
 
 

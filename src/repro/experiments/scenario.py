@@ -64,6 +64,10 @@ class ScenarioConfig:
     #: Optional fault model (node churn, link flaps, transfer truncation);
     #: None or a disabled plan runs the paper's ideal conditions.
     faults: FaultPlan | None = None
+    #: Install the runtime invariant sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) for this run.  Also enabled
+    #: globally by ``REPRO_SANITIZE=1``.
+    sanitize: bool = False
     # -- extra reports --
     with_buffer_report: bool = False
     #: Exclude messages created before this time from all metrics (ONE's

@@ -28,6 +28,7 @@ import numpy as np
 from repro.engine.events import PRIORITY_FAULT
 from repro.errors import FaultInjectionError
 from repro.faults.plan import FaultPlan
+from repro.net.outcomes import DROP_FAULT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.simulator import Simulator
@@ -138,7 +139,7 @@ class FaultInjector:
         # nothing is pinned; the guard keeps a partial wipe from crashing.
         for message in node.buffer.messages():
             if not node.buffer.is_pinned(message.msg_id):
-                node.router.drop_message(message, "fault")
+                node.router.drop_message(message, DROP_FAULT)
 
     # -- link flaps ----------------------------------------------------------
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mobility.base import MobilityModel
+from repro.rng import RngFactory
 
 
 def grid_map(
@@ -40,7 +41,8 @@ def grid_map(
         raise ConfigurationError("grid needs at least 2x2 intersections")
     if spacing <= 0:
         raise ConfigurationError(f"spacing must be positive: {spacing}")
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = RngFactory(0).stream("mobility.map.jitter")
     graph = nx.grid_2d_graph(cols, rows)
     pos: dict[tuple[int, int], tuple[float, float]] = {}
     for cx, cy in graph.nodes:

@@ -139,6 +139,10 @@ class MessageBuffer:
         """True while at least one transfer holds *msg_id*."""
         return self._pins.get(msg_id, 0) > 0
 
+    def pinned_ids(self) -> list[str]:
+        """Ids currently holding at least one pin (sanitizer/debug view)."""
+        return [msg_id for msg_id, count in self._pins.items() if count > 0]
+
     def droppable(self) -> list[Message]:
         """Messages eligible for policy-driven dropping (unpinned)."""
         return [m for m in self._messages.values() if not self.is_pinned(m.msg_id)]

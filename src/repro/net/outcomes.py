@@ -28,3 +28,14 @@ MODE_MOVE = "move"  # forward: sender deletes its copy (First Contact/Focus)
 MODE_DELIVERY = "delivery"  # peer is the destination; sender deletes
 
 ALL_MODES = (MODE_SPLIT, MODE_COPY, MODE_MOVE, MODE_DELIVERY)
+
+#: Drop reasons: the vocabulary of the ``message.dropped`` event.  These feed
+#: ``RunSummary.drops`` and SDSRP's dropped-list gossip, so drop sites must
+#: reference the constants — a typo'd literal would silently split the
+#: counters (enforced by reprolint REP005).
+DROP_OVERFLOW = "overflow"  # evicted (or refused) by the buffer policy
+DROP_TTL = "ttl"  # time-to-live elapsed
+DROP_NO_ROOM = "no_room"  # locally generated message could not be stored
+DROP_FAULT = "fault"  # destroyed by fault injection (buffer wipe)
+
+DROP_REASONS = (DROP_OVERFLOW, DROP_TTL, DROP_NO_ROOM, DROP_FAULT)

@@ -24,6 +24,7 @@ from repro.engine.simulator import Simulator
 from repro.errors import TransferError
 from repro.net.message import Message
 from repro.net.outcomes import (
+    DROP_TTL,
     MODE_COPY,
     MODE_DELIVERY,
     MODE_MOVE,
@@ -47,7 +48,10 @@ _PROCESSED = (
 class Transfer:
     """One in-flight message transmission."""
 
-    __slots__ = ("sender", "receiver", "message", "mode", "started_at", "eta", "event")
+    __slots__ = (
+        "sender", "receiver", "message", "mode", "started_at", "eta", "event",
+        "seq",
+    )
 
     def __init__(
         self,
@@ -57,6 +61,7 @@ class Transfer:
         mode: str,
         started_at: float,
         eta: float,
+        seq: int = 0,
     ) -> None:
         self.sender = sender
         self.receiver = receiver
@@ -65,6 +70,9 @@ class Transfer:
         self.started_at = started_at
         self.eta = eta
         self.event: Event | None = None
+        #: Manager-assigned serial; identifies this transfer in sanitizer
+        #: double-commit checks and debugging output.
+        self.seq = seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -79,6 +87,7 @@ class TransferManager:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._active: dict[int, Transfer] = {}  # keyed by sender id
+        self._seq = 0
         #: Optional fault model (see :mod:`repro.faults`): an object with a
         #: ``transfer_fails(transfer) -> bool`` method consulted at completion
         #: time.  A failed transfer is truncated on the air: the receiver
@@ -113,8 +122,10 @@ class TransferManager:
         if mode not in (MODE_SPLIT, MODE_COPY, MODE_MOVE, MODE_DELIVERY):
             raise TransferError(f"unknown transfer mode {mode!r}")
         duration = sender.radio.transfer_time(message.size, receiver.radio)
+        self._seq += 1
         transfer = Transfer(
-            sender, receiver, message, mode, self.sim.now, self.sim.now + duration
+            sender, receiver, message, mode, self.sim.now,
+            self.sim.now + duration, seq=self._seq,
         )
         sender.buffer.pin(message.msg_id)
         sender.sending = True
@@ -164,7 +175,7 @@ class TransferManager:
         # The payload expired on the air: the sender's copy dies too.
         if message.is_expired(now):
             if message.msg_id in sender.buffer:
-                sender.router.drop_message(message, "ttl")
+                sender.router.drop_message(message, DROP_TTL)
             self.sim.listeners.emit("transfer.aborted", transfer)
             sender.router.try_send()
             return
@@ -186,7 +197,10 @@ class TransferManager:
             if mode == MODE_SPLIT:
                 # Commit the sender-side token halving even when the newcomer
                 # lost the drop decision: that copy existed and was dropped
-                # (the paper's Δn_i = -1), not refused on the air.
+                # (the paper's Δn_i = -1), not refused on the air.  The
+                # commit event precedes the mutation so the sanitizer can
+                # catch a double commit before tokens are destroyed.
+                self.sim.listeners.emit("transfer.commit", transfer)
                 message.apply_split(now)
             self.sim.listeners.emit(
                 "message.relayed", payload, sender, receiver, outcome

@@ -29,6 +29,7 @@ from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.simulator import Simulator
+    from repro.rng import RngFactory
     from repro.world.node import Node
 
 
@@ -39,6 +40,10 @@ class PolicyContext:
     node: "Node"
     sim: "Simulator"
     n_nodes: int
+    #: The scenario's seeded stream registry; stochastic policies request
+    #: node-scoped streams from it (``rng.stream(f"policy.x.{node.id}")``)
+    #: so draws vary with the scenario seed yet stay per-node independent.
+    rng: "RngFactory | None" = None
 
 
 class BufferPolicy(ABC):

@@ -7,10 +7,9 @@ Spray-and-Wait-C degenerates to this when the initial copy count is small
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.net.message import Message
 from repro.policies.base import BufferPolicy, PolicyContext
+from repro.rng import RngFactory
 
 
 class RandomPolicy(BufferPolicy):
@@ -21,15 +20,22 @@ class RandomPolicy(BufferPolicy):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self._seed = int(seed)
+        # Standalone (unattached) use: a seeded stream from a private
+        # factory, replaced with a node-scoped stream on attach().
+        self._rng = RngFactory(self._seed).stream("policy.random")
         self._scores: dict[str, float] = {}
 
     def attach(self, ctx: PolicyContext) -> None:
         super().attach(ctx)
-        # Distinct stream per node so fleets don't share draw sequences.
-        self._rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=ctx.node.id, spawn_key=(0xA11CE,))
-        )
+        # Node-scoped stream from the scenario's seeded registry: each node
+        # draws an independent sequence AND the sequences vary with the
+        # scenario seed.  (The previous implementation seeded from the node
+        # id alone via ambient np.random machinery, so every scenario seed
+        # produced identical drop decisions — reprolint REP001's first real
+        # catch.)
+        factory = ctx.rng if ctx.rng is not None else RngFactory(self._seed)
+        self._rng = factory.stream(f"policy.random.{ctx.node.id}")
 
     def _score(self, message: Message) -> float:
         if message.msg_id not in self._scores:

@@ -46,18 +46,19 @@ class RngFactory:
 
         The stream for a given (root seed, name) pair is always the same,
         independent of creation order, because the child seed is derived by
-        hashing the name into the spawn key.
+        hashing the *full* name into the spawn key.  (An earlier version
+        keyed on the first 8 bytes only, which made ``"policy.random.1"``
+        and ``"policy.random.2"`` collide into identical streams; node-
+        scoped stream names rely on the full-name hash.)
         """
         if name not in self._spawned:
             # Derive a stable 64-bit key from the name so stream identity
             # does not depend on request order.  The root's own spawn_key is
             # preserved so children of spawn() stay mutually independent.
-            key = np.frombuffer(
-                name.encode("utf-8").ljust(8, b"\0")[:8], dtype=np.uint64
-            )[0]
+            key = _fnv1a(name.encode("utf-8"))
             child = np.random.SeedSequence(
                 entropy=self._root.entropy,
-                spawn_key=(*self._root.spawn_key, int(key)),
+                spawn_key=(*self._root.spawn_key, key),
             )
             self._spawned[name] = np.random.default_rng(child)
         return self._spawned[name]
@@ -66,6 +67,14 @@ class RngFactory:
         """Spawn *n* independent child factories (for sweep workers)."""
         for seq in self._root.spawn(n):
             yield RngFactory(seq)
+
+
+def _fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a hash (stable across platforms and Python versions)."""
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h = ((h ^ byte) * 0x100000001B3) % (1 << 64)
+    return h
 
 
 def derive_seed(base_seed: int, *components: int | str) -> int:
@@ -78,10 +87,7 @@ def derive_seed(base_seed: int, *components: int | str) -> int:
     acc = np.uint64(base_seed) ^ np.uint64(0x9E3779B97F4A7C15)
     for comp in components:
         if isinstance(comp, str):
-            h = np.uint64(0xCBF29CE484222325)
-            for byte in comp.encode("utf-8"):
-                h = np.uint64((int(h) ^ byte) * 0x100000001B3 % (1 << 64))
-            value = h
+            value = np.uint64(_fnv1a(comp.encode("utf-8")))
         else:
             value = np.uint64(int(comp) & 0xFFFFFFFFFFFFFFFF)
         acc = np.uint64(

@@ -24,6 +24,9 @@ from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
 from repro.net.message import Message
 from repro.net.outcomes import (  # re-exported: the routing-facing names
+    DROP_NO_ROOM,
+    DROP_OVERFLOW,
+    DROP_TTL,
     MODE_COPY,
     MODE_DELIVERY,
     MODE_MOVE,
@@ -34,6 +37,7 @@ from repro.policies.base import BufferPolicy, PolicyContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.transfer import TransferManager
+    from repro.rng import RngFactory
     from repro.world.node import Node
 
 __all__ = [
@@ -71,11 +75,13 @@ class Router:
     # -- wiring ----------------------------------------------------------------
 
     def bind(self, sim: Simulator, transfer_manager: "TransferManager",
-             n_nodes: int) -> None:
+             n_nodes: int, rng: "RngFactory | None" = None) -> None:
         """Connect to the simulator; called once by the scenario builder."""
         self.sim = sim
         self.transfer_manager = transfer_manager
-        self.policy.attach(PolicyContext(node=self.node, sim=sim, n_nodes=n_nodes))
+        self.policy.attach(
+            PolicyContext(node=self.node, sim=sim, n_nodes=n_nodes, rng=rng)
+        )
 
     @property
     def now(self) -> float:
@@ -98,7 +104,9 @@ class Router:
         # Locally generated messages are never "the newcomer that loses":
         # the source always tries to make room (ONE's makeRoomForNewMessage).
         if not self._make_room(message, allow_reject=False):
-            self.sim.listeners.emit("message.dropped", message, self.node, "no_room")
+            self.sim.listeners.emit(
+                "message.dropped", message, self.node, DROP_NO_ROOM
+            )
             return False
         self.node.buffer.add(message)
         self.policy.on_message_added(message, self.now)
@@ -138,8 +146,10 @@ class Router:
         if not self._make_room(message, allow_reject=self.policy.compare_newcomer):
             # The newcomer copy is destroyed: record it as a drop so that
             # stateful policies (SDSRP's dropped list) learn about it.
-            self.policy.on_message_dropped(message, now, "overflow")
-            self.sim.listeners.emit("message.dropped", message, self.node, "overflow")
+            self.policy.on_message_dropped(message, now, DROP_OVERFLOW)
+            self.sim.listeners.emit(
+                "message.dropped", message, self.node, DROP_OVERFLOW
+            )
             return ReceiveOutcome.REJECTED_OVERFLOW
         self.node.buffer.add(message)
         self.policy.on_message_added(message, now)
@@ -167,7 +177,7 @@ class Router:
             if not accept:
                 return False
             for victim in victims:
-                self.drop_message(victim, "overflow")
+                self.drop_message(victim, DROP_OVERFLOW)
             return buffer.fits(incoming)
         while not buffer.fits(incoming):
             candidates = buffer.droppable()
@@ -179,7 +189,7 @@ class Router:
                 <= self.policy.drop_priority(worst, now)
             ):
                 return False
-            self.drop_message(worst, "overflow")
+            self.drop_message(worst, DROP_OVERFLOW)
         return True
 
     def drop_message(self, message: Message, reason: str) -> None:
@@ -193,7 +203,7 @@ class Router:
         """Drop all expired, unpinned messages (pinned ones die on completion)."""
         for message in self.node.buffer.expired(self.now):
             if not self.node.buffer.is_pinned(message.msg_id):
-                self.drop_message(message, "ttl")
+                self.drop_message(message, DROP_TTL)
 
     # -- link lifecycle ---------------------------------------------------------------
 

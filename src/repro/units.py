@@ -57,6 +57,24 @@ def kBps(value: float) -> float:
     return float(value) * 1000.0
 
 
+#: Default tolerance for sim-time comparisons: far below any simulated
+#: interval (ticks are O(1 s), transfer times O(10 s)) yet far above the
+#: accumulated rounding error of summing horizon-scale float intervals.
+TIME_EPS = 1e-6
+
+
+def time_eq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """True when two simulation timestamps are equal within *eps* seconds.
+
+    Simulation times are sums of float intervals, so two logically
+    simultaneous timestamps can differ in the last bits once they went
+    through different arithmetic.  Exact ``==``/``!=`` on sim-time floats is
+    banned in library code (reprolint REP003); use this helper or an
+    ordering comparison instead.
+    """
+    return abs(a - b) <= eps
+
+
 def fmt_bytes(n: int) -> str:
     """Human-readable byte count (e.g. ``"2.50MB"``)."""
     if n >= MIB:

@@ -1,0 +1,94 @@
+"""RandomPolicy regression: drops must follow the scenario seed.
+
+The original implementation seeded each node's generator from the node id
+alone (through ambient ``np.random`` machinery — reprolint REP001's first
+real catch), so *every* scenario seed produced the identical drop sequence
+and "averaging over seeds" averaged nothing.  These tests pin the fix:
+node-scoped streams derived from the scenario's seeded registry.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.experiments.runner import build_scenario
+from repro.experiments.scenario import random_waypoint_scenario, scale_scenario
+from repro.policies.base import PolicyContext
+from repro.policies.random_drop import RandomPolicy
+from repro.rng import RngFactory
+from repro.units import megabytes
+
+
+def congested(seed: int):
+    """A small scenario squeezed until the random policy must drop."""
+    return scale_scenario(
+        random_waypoint_scenario(policy="random", seed=seed),
+        node_factor=0.15,
+        time_factor=0.08,
+    ).replace(buffer_bytes=megabytes(1.0))
+
+
+def dropped_ids(seed: int) -> list[tuple[int, str, str]]:
+    built = build_scenario(congested(seed))
+    drops: list[tuple[int, str, str]] = []
+    built.sim.listeners.subscribe(
+        "message.dropped",
+        lambda m, node, reason: drops.append((node.id, m.msg_id, reason)),
+    )
+    built.sim.run()
+    return drops
+
+
+def _ctx(node_id: int, factory: RngFactory | None) -> PolicyContext:
+    return PolicyContext(
+        node=SimpleNamespace(id=node_id), sim=None, n_nodes=10, rng=factory
+    )
+
+
+def test_same_seed_identical_drops():
+    first = dropped_ids(5)
+    second = dropped_ids(5)
+    assert first, "congested scenario should produce drops"
+    assert first == second
+
+
+def test_different_seeds_different_drops():
+    # The pre-fix behaviour made these identical for every seed pair.
+    assert dropped_ids(5) != dropped_ids(6)
+
+
+def test_nodes_draw_independent_streams():
+    factory = RngFactory(123)
+    a, b = RandomPolicy(), RandomPolicy()
+    a.attach(_ctx(0, factory))
+    b.attach(_ctx(1, factory))
+    draws_a = [a._rng.random() for _ in range(8)]
+    draws_b = [b._rng.random() for _ in range(8)]
+    assert draws_a != draws_b
+
+
+def test_scenario_seed_changes_policy_draws():
+    a, b = RandomPolicy(), RandomPolicy()
+    a.attach(_ctx(0, RngFactory(1)))
+    b.attach(_ctx(0, RngFactory(2)))
+    assert [a._rng.random() for _ in range(8)] != [
+        b._rng.random() for _ in range(8)
+    ]
+
+
+def test_standalone_policy_is_still_deterministic():
+    # Without a scenario registry the constructor seed governs the stream.
+    a, b = RandomPolicy(seed=9), RandomPolicy(seed=9)
+    a.attach(_ctx(3, None))
+    b.attach(_ctx(3, None))
+    assert [a._rng.random() for _ in range(8)] == [
+        b._rng.random() for _ in range(8)
+    ]
+
+
+def test_score_is_stable_per_message():
+    policy = RandomPolicy(seed=0)
+    msg = SimpleNamespace(msg_id="M1")
+    first = policy.send_priority(msg, 0.0)
+    assert policy.drop_priority(msg, 10.0) == first
+    assert policy.send_priority(msg, 99.0) == first

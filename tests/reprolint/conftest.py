@@ -1,0 +1,14 @@
+"""Make the ``tools/`` tree importable for reprolint's own tests.
+
+The linter is tooling, not library code, so it lives outside ``src/`` and is
+not installed; tests import it straight from the repo checkout.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))

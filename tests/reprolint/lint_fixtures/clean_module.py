@@ -1,0 +1,26 @@
+"""Fixture: idiomatic repo code that must pass every REP rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+DROP_OVERFLOW = "overflow"
+
+
+def tick(rng: np.random.Generator, now: float, deadline: float) -> bool:
+    """Seeded draws, ordering comparisons, immutable defaults only."""
+    jitter = float(rng.random())
+    return now + jitter >= deadline
+
+
+def drop(router: object, message: object) -> None:
+    router.drop_message(message, DROP_OVERFLOW)
+
+
+def safe(payload: dict | None = None) -> dict:
+    out = {} if payload is None else dict(payload)
+    try:
+        out["ok"] = True
+    except TypeError as exc:
+        raise ValueError("payload must be dict-like") from exc
+    return out

@@ -1,0 +1,35 @@
+"""Fixture: every flavor of ambient RNG that REP001 must flag."""
+
+import random  # REP001: stdlib random import
+from random import shuffle  # REP001: stdlib random import-from
+
+import numpy as np
+
+
+def bad_seed() -> None:
+    np.random.seed(42)  # REP001: global seeding
+
+
+def bad_draw() -> float:
+    return np.random.random()  # REP001: ambient draw
+
+
+def bad_factory() -> object:
+    # REP001 at a src/ path only (tests may build seeded generators).
+    return np.random.default_rng(7)
+
+
+def fine(rng: np.random.Generator) -> float:
+    # Passing a Generator in is the sanctioned pattern.
+    return float(rng.random())
+
+
+def also_fine() -> object:
+    # Type references are not draws.
+    gen: np.random.Generator | None = None
+    return gen
+
+
+def use_imports() -> None:
+    shuffle([])
+    random.random()

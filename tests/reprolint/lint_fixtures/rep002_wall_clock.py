@@ -1,0 +1,26 @@
+"""Fixture: wall-clock reads that REP002 must flag in src/repro code."""
+
+import datetime
+import time
+from time import monotonic  # REP002: wall-clock import
+
+
+def bad_time() -> float:
+    return time.time()  # REP002
+
+
+def bad_monotonic() -> float:
+    return time.monotonic()  # REP002
+
+
+def bad_datetime() -> object:
+    return datetime.datetime.now()  # REP002
+
+
+def allowed_diagnostic() -> float:
+    # perf_counter feeds diagnostic wall_seconds only; explicitly allowed.
+    return time.perf_counter()
+
+
+def use_import() -> float:
+    return monotonic()

@@ -1,0 +1,23 @@
+"""Fixture: exact sim-time comparisons that REP003 must flag."""
+
+
+def bad_name_eq(now: float, deadline: float) -> bool:
+    return now == deadline  # REP003: `now` is time-valued
+
+
+def bad_attr_ne(transfer: object, t: float) -> bool:
+    return transfer.eta != t  # REP003: `.eta` is time-valued
+
+
+def bad_call_eq(message: object, now: float) -> bool:
+    return message.elapsed(now) == 0.0  # REP003: time-valued call
+
+
+def fine_ordering(now: float, deadline: float) -> bool:
+    # Ordering comparisons are robust to float error.
+    return now >= deadline
+
+
+def fine_none_check(started_at: float | None) -> bool:
+    # Comparing against None is a different (allowed) shape.
+    return started_at == None  # noqa: E711

@@ -1,0 +1,21 @@
+"""Fixture: mutable default arguments that REP004 must flag."""
+
+
+def bad_list(xs=[]) -> list:  # REP004
+    return xs
+
+
+def bad_dict_kwonly(*, table={}) -> dict:  # REP004
+    return table
+
+
+def bad_call_default(items=list()) -> list:  # REP004
+    return items
+
+
+def fine(xs=None) -> list:
+    return [] if xs is None else xs
+
+
+def fine_immutable(tag=(), n=0, name="x") -> tuple:
+    return (tag, n, name)

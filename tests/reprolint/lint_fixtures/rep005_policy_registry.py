@@ -1,0 +1,38 @@
+"""Fixture: an unregistered policy subclass and literal drop reasons."""
+
+from abc import abstractmethod
+
+
+class BufferPolicy:  # stand-in root; matches REP005's hierarchy roots
+    pass
+
+
+class RegisteredPolicy(BufferPolicy):
+    name = "registered"
+
+
+class UnregisteredPolicy(BufferPolicy):  # REP005: never registered
+    name = "unregistered"
+
+
+class AbstractMid(BufferPolicy):
+    @abstractmethod
+    def rank(self) -> float:  # abstract subclasses are exempt
+        ...
+
+
+class ConcreteLeaf(AbstractMid):  # REP005: transitive subclass, unregistered
+    name = "leaf"
+
+
+def register_policy(name: str, factory: object) -> None:
+    pass
+
+
+register_policy("registered", RegisteredPolicy)
+
+
+def drop_sites(router, message, sim, node) -> None:
+    router.drop_message(message, "overflow")  # REP005: literal reason
+    sim.listeners.emit("message.dropped", message, node, "ttl")  # REP005
+    router.drop_message(message, reason="no_room")  # REP005: literal kwarg

@@ -1,0 +1,29 @@
+"""Fixture: swallowed exceptions that REP006 must flag in engine/net code."""
+
+
+def bad_bare() -> None:
+    try:
+        raise ValueError("boom")
+    except:  # noqa: E722  # REP006: bare except
+        print("caught")
+
+
+def bad_swallow() -> None:
+    try:
+        raise ValueError("boom")
+    except ValueError:  # REP006: body is only pass
+        pass
+
+
+def bad_ellipsis() -> None:
+    try:
+        raise ValueError("boom")
+    except (KeyError, ValueError):  # REP006: body is only ...
+        ...
+
+
+def fine_handled() -> int:
+    try:
+        raise ValueError("boom")
+    except ValueError as exc:
+        return len(str(exc))

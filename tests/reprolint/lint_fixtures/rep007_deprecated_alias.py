@@ -1,0 +1,13 @@
+"""Fixture: references to the deprecated BufferError_ alias."""
+
+from repro.errors import BufferError_  # REP007
+
+from repro import errors
+
+
+def bad_raise() -> None:
+    raise BufferError_("full")  # REP007 (Name reference)
+
+
+def bad_attribute() -> object:
+    return errors.BufferError_  # REP007 (Attribute reference)

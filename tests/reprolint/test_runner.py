@@ -1,0 +1,92 @@
+"""Runner/CLI behaviour: file collection, fixture skipping, exit codes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from reprolint import ALL_RULES, Violation, lint_paths, main
+from reprolint.runner import FIXTURE_DIR, collect_files
+
+HERE = Path(__file__).parent
+
+
+def test_collect_files_skips_lint_fixtures():
+    collected = [name for name, _ in collect_files([HERE])]
+    assert collected, "expected this test package to be collected"
+    assert not any(FIXTURE_DIR in name for name in collected)
+
+
+def test_collect_files_skips_explicit_fixture_file():
+    fixture = HERE / FIXTURE_DIR / "rep004_mutable_default.py"
+    assert collect_files([fixture]) == []
+
+
+def test_lint_paths_reports_with_repo_relative_posix_paths(tmp_path):
+    bad = tmp_path / "pkg" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    out = lint_paths([tmp_path], root=tmp_path)
+    assert [v.code for v in out] == ["REP004"]
+    assert out[0].path == "pkg/bad.py"
+    assert out[0].line == 1
+
+
+def test_lint_paths_turns_syntax_errors_into_rep000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    out = lint_paths([broken], root=tmp_path)
+    assert [v.code for v in out] == ["REP000"]
+    assert "syntax error" in out[0].message
+
+
+def test_violation_format_is_grep_friendly():
+    v = Violation(code="REP004", path="a/b.py", line=3, col=7, message="boom")
+    assert v.format() == "a/b.py:3:7 REP004 boom"
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x=None):\n    return x\n")
+    assert main([str(clean)]) == 0
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(xs=[]):\n    return xs\n")
+    assert main([str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "REP004" in captured.out
+    assert "1 violation(s)" in captured.err
+
+
+def test_main_select_filters_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n\n\ndef f(xs=[]):\n    return xs\n")
+    # Both rules fire unfiltered; selecting REP001 hides the REP004 hit.
+    assert main([str(bad)]) == 1
+    assert main([str(bad), "--select", "REP004"]) == 1
+    assert main([str(bad), "--select", "REP002"]) == 0
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules", "src"]) == 0
+    out = capsys.readouterr().out
+    for cls in ALL_RULES:
+        assert cls.code in out
+        assert cls.title in out
+
+
+def test_every_rule_has_code_title_and_docstring():
+    seen = set()
+    for cls in ALL_RULES:
+        assert cls.code.startswith("REP") and len(cls.code) == 6
+        assert cls.code not in seen
+        seen.add(cls.code)
+        assert cls.title and cls.title != "abstract"
+        assert cls.__doc__ and len(cls.__doc__.strip()) > 40
+
+
+def test_repo_tree_is_lint_clean():
+    """The final tree must satisfy its own linter (the PR's contract)."""
+    repo = Path(__file__).resolve().parents[2]
+    targets = [repo / "src", repo / "tests", repo / "benchmarks"]
+    out = lint_paths([t for t in targets if t.exists()], root=repo)
+    assert out == [], "\n".join(v.format() for v in out)

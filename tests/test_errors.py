@@ -9,14 +9,41 @@ def test_all_derive_from_repro_error():
     for name in ("ConfigurationError", "SimulationError", "ReproBufferError",
                  "MessageNotFoundError", "DuplicateMessageError",
                  "TransferError", "TraceFormatError", "SchedulingError",
-                 "FaultInjectionError", "SweepInterrupted"):
+                 "FaultInjectionError", "SweepInterrupted",
+                 "InvariantViolation"):
         exc = getattr(errors, name)
         assert issubclass(exc, errors.ReproError), name
 
 
-def test_deprecated_buffer_error_alias():
-    # The old trailing-underscore name remains importable and identical.
-    assert errors.BufferError_ is errors.ReproBufferError
+def test_deprecated_buffer_error_alias_warns():
+    # The old trailing-underscore name remains reachable but warns.  Accessed
+    # via getattr-with-a-string: reprolint REP007 bans direct references.
+    with pytest.warns(DeprecationWarning, match="ReproBufferError"):
+        alias = getattr(errors, "BufferError_")
+    assert alias is errors.ReproBufferError
+
+
+def test_deprecated_alias_forwarded_from_package():
+    import repro
+
+    with pytest.warns(DeprecationWarning):
+        alias = getattr(repro, "BufferError_")
+    assert alias is errors.ReproBufferError
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        errors.NoSuchName  # noqa: B018
+
+
+def test_invariant_violation_structure():
+    exc = errors.InvariantViolation(
+        "buffer-accounting", "used=12 expected=10",
+        node_id=3, msg_id="M7", time=42.0,
+    )
+    assert exc.invariant == "buffer-accounting"
+    assert exc.node_id == 3 and exc.msg_id == "M7" and exc.time == 42.0
+    assert "node=3" in str(exc) and "msg=M7" in str(exc)
 
 
 def test_message_not_found_is_key_error():

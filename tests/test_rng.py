@@ -34,6 +34,22 @@ class TestRngFactory:
     def test_root_entropy_readable(self):
         assert RngFactory(99).root_entropy == 99
 
+    def test_long_names_with_shared_prefix_are_independent(self):
+        # Regression: stream keys were once derived from only the first
+        # 8 bytes of the name, so "policy.random.1" and "policy.random.2"
+        # (identical 8-byte prefix) collided into the same stream.
+        f = RngFactory(7)
+        draws = {
+            f.stream(f"policy.random.{i}").random() for i in range(20)
+        }
+        assert len(draws) == 20
+
+    def test_suffix_only_names_are_independent(self):
+        f = RngFactory(11)
+        a = f.stream("a-very-long-stream-name-variant-A")
+        b = f.stream("a-very-long-stream-name-variant-B")
+        assert a.random() != b.random()
+
 
 class TestDeriveSeed:
     def test_deterministic(self):

@@ -1,0 +1,10 @@
+"""``python -m reprolint src tests benchmarks`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from reprolint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

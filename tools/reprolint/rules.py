@@ -1,0 +1,566 @@
+"""The REP rule set.
+
+Each rule is a small AST check with a stable code (``REP001``…), a one-line
+title, and a docstring explaining *why* the pattern is banned in this repo.
+Rules receive a :class:`FileContext` (parsed tree + normalized path) and
+yield :class:`Violation` records; :class:`ProjectRule` subclasses additionally
+see every file before reporting (cross-file checks such as the policy
+registry audit).
+
+Path scoping conventions (all paths are repo-root-relative, POSIX slashes):
+
+* ``src/…``            — first-party library code (strictest rules)
+* ``tests/…``/``benchmarks/…`` — test code (determinism rules still apply,
+  but explicit seeded ``np.random.default_rng(seed)`` construction is fine)
+* any path containing a ``lint_fixtures`` directory is skipped entirely —
+  that is where reprolint's own rule fixtures (deliberate violations) live.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, formatted ``path:line:col CODE message``."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """A parsed file plus the path facts rules scope on."""
+
+    path: str  # repo-root-relative, POSIX separators
+    tree: ast.Module
+
+    @property
+    def in_src(self) -> bool:
+        return self.path.startswith("src/")
+
+    @property
+    def in_repro(self) -> bool:
+        return self.path.startswith("src/repro/")
+
+    def in_dirs(self, *dirs: str) -> bool:
+        return any(self.path.startswith(f"src/repro/{d}/") for d in dirs)
+
+
+class Rule:
+    """Base per-file rule."""
+
+    code = "REP000"
+    title = "abstract"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set before it can report."""
+
+    def collect(self, ctx: FileContext) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        self.collect(ctx)
+        return iter(())
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+
+def _is_np_random(chain: list[str]) -> bool:
+    """True for ``np.random.X`` / ``numpy.random.X`` chains."""
+    return len(chain) >= 3 and chain[0] in _NUMPY_NAMES and chain[1] == "random"
+
+
+# -- REP001 ------------------------------------------------------------------
+
+
+class Rep001AmbientRng(Rule):
+    """All randomness must flow through the seeded stream registry.
+
+    Bit-reproducibility is the repo's core guarantee: the same scenario seed
+    yields identical runs, serial or parallel.  Global RNG state (stdlib
+    ``random``, ``np.random.seed``, draws from ``np.random``'s ambient
+    generator) breaks that silently — results depend on import order, other
+    components' draws, or nothing at all.  Library code must take an
+    ``np.random.Generator`` argument or request a named stream from
+    :class:`repro.rng.RngFactory`; only ``repro/rng.py`` may construct
+    generators.  Tests may build explicit seeded generators
+    (``np.random.default_rng(seed)``) to pass into components.
+    """
+
+    code = "REP001"
+    title = "ambient/global RNG outside repro/rng.py"
+
+    #: np.random attributes that are types/seeding machinery, not draws.
+    _NON_DRAWS = {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "RandomState",
+        "default_rng",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        is_rng_module = ctx.path == "src/repro/rng.py"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx, node,
+                            "stdlib `random` is ambient global state; use a "
+                            "seeded np.random.Generator from repro.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        ctx, node,
+                        "stdlib `random` is ambient global state; use a "
+                        "seeded np.random.Generator from repro.rng",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if not _is_np_random(chain):
+                    continue
+                leaf = chain[2]
+                if leaf == "seed":
+                    yield self.violation(
+                        ctx, node,
+                        "np.random.seed mutates global RNG state; seed a "
+                        "Generator via repro.rng instead",
+                    )
+                elif leaf == "default_rng":
+                    if ctx.in_src and not is_rng_module:
+                        yield self.violation(
+                            ctx, node,
+                            "np.random.default_rng outside repro/rng.py "
+                            "bypasses the seeded stream registry; accept a "
+                            "Generator argument or use RngFactory.stream()",
+                        )
+                elif leaf not in self._NON_DRAWS:
+                    yield self.violation(
+                        ctx, node,
+                        f"np.random.{leaf}() draws from the ambient global "
+                        "generator; draw from a seeded Generator instead",
+                    )
+
+
+# -- REP002 ------------------------------------------------------------------
+
+
+class Rep002WallClock(Rule):
+    """Simulation code must read :attr:`Simulator.now`, never the wall clock.
+
+    A wall-clock read inside ``src/repro`` makes behaviour depend on host
+    speed and run timing — the same seed would produce different traces on
+    different machines, invalidating every reproduced figure.  Banned calls:
+    ``time.time``/``time.time_ns``, ``time.monotonic``/``time.monotonic_ns``,
+    ``datetime.now``/``utcnow``/``today``.  (``time.perf_counter`` is
+    allowed: it feeds the *diagnostic* ``wall_seconds`` field of run
+    summaries and never influences simulation state.)
+    """
+
+    code = "REP002"
+    title = "wall-clock read in simulation code"
+
+    _TIME_FNS = {"time", "time_ns", "monotonic", "monotonic_ns"}
+    _DATETIME_FNS = {"now", "utcnow", "today"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._TIME_FNS:
+                        yield self.violation(
+                            ctx, node,
+                            f"importing time.{alias.name} into sim code; "
+                            "use Simulator.now for simulated time",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) < 2:
+                    continue
+                if chain[0] == "time" and chain[1] in self._TIME_FNS:
+                    yield self.violation(
+                        ctx, node,
+                        f"time.{chain[1]}() is a wall-clock read; use "
+                        "Simulator.now for simulated time",
+                    )
+                elif chain[-1] in self._DATETIME_FNS and "datetime" in chain[:-1]:
+                    yield self.violation(
+                        ctx, node,
+                        f"datetime {chain[-1]}() is a wall-clock read; use "
+                        "Simulator.now for simulated time",
+                    )
+
+
+# -- REP003 ------------------------------------------------------------------
+
+
+class Rep003TimeFloatEquality(Rule):
+    """Sim-time floats accumulate error; exact ``==`` comparisons are traps.
+
+    Simulation timestamps are sums of float intervals (ticks, transfer
+    durations, exponential gaps).  ``a == b`` on two times that are
+    *logically* simultaneous fails once either went through different
+    arithmetic, and such bugs appear only at specific seeds.  Compare with
+    an explicit tolerance via :func:`repro.units.time_eq`, or restructure to
+    use ordering (``<=``) which is robust.  The rule flags ``==``/``!=``
+    where either operand is a recognizably time-valued expression
+    (``now``, ``.eta``, ``.created_at``, ``.started_at``, ``.end_time``,
+    ``.sim_time``, ``.expires_at()``, ``.remaining_ttl()``, ``.elapsed()``).
+    """
+
+    code = "REP003"
+    title = "==/!= on sim-time floats"
+
+    _TIME_NAMES = {
+        "now", "eta", "created_at", "started_at", "end_time", "sim_time",
+    }
+    _TIME_CALLS = {"expires_at", "remaining_ttl", "elapsed"}
+
+    def _is_time_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._TIME_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._TIME_NAMES
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return bool(chain) and chain[-1] in self._TIME_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (left, right)
+                if any(
+                    isinstance(o, ast.Constant) and o.value is None for o in pair
+                ):
+                    continue  # `x == None` is a different mistake
+                if any(self._is_time_expr(o) for o in pair):
+                    yield self.violation(
+                        ctx, node,
+                        "exact ==/!= on a sim-time float; use "
+                        "repro.units.time_eq(a, b) or an ordering comparison",
+                    )
+                    break
+
+
+# -- REP004 ------------------------------------------------------------------
+
+
+class Rep004MutableDefault(Rule):
+    """Mutable default arguments are shared across calls.
+
+    A ``def f(xs=[])`` default is evaluated once at function definition and
+    shared by every call — state leaks between invocations (and between
+    *nodes*, when the function is a policy method), which is both a classic
+    bug and a determinism hazard.  Use ``None`` plus an in-body default, or
+    ``dataclasses.field(default_factory=...)``.
+    """
+
+    code = "REP004"
+    title = "mutable default argument"
+
+    def _is_mutable(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "bytearray"}
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and assign inside the body",
+                    )
+
+
+# -- REP005 ------------------------------------------------------------------
+
+
+class Rep005PolicyRegistry(ProjectRule):
+    """Concrete buffer policies must be registered; drops must use constants.
+
+    The experiment harness, CLI and sweep engine reach policies exclusively
+    through :mod:`repro.policies.registry` — an unregistered
+    :class:`BufferPolicy` subclass is dead code that silently falls out of
+    every figure.  Likewise, drop-reason strings feed
+    ``RunSummary.drops`` and SDSRP's dropped-list gossip; a typo'd literal
+    (``"overflw"``) would split the counters without any error, so drop
+    sites must reference the ``DROP_*`` constants declared in
+    :mod:`repro.net.outcomes`.
+    """
+
+    code = "REP005"
+    title = "unregistered policy / literal drop reason"
+
+    #: Root classes of the policy hierarchy (abstract, never registered).
+    _ROOTS = {"BufferPolicy", "StaticRankPolicy"}
+    _DROP_CALLS = {"drop_message": 1, "on_message_dropped": 2}
+
+    def __init__(self) -> None:
+        #: class name -> (base names, is_abstract, path, line)
+        self._classes: dict[str, tuple[list[str], bool, str, int]] = {}
+        self._registered: set[str] = set()
+        self._literal_hits: list[Violation] = []
+
+    def collect(self, ctx: FileContext) -> None:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = [
+                    _attr_chain(b)[-1] if _attr_chain(b) else ""
+                    for b in node.bases
+                ]
+                self._classes[node.name] = (
+                    bases, self._is_abstract(node, bases), ctx.path, node.lineno
+                )
+            elif isinstance(node, ast.Call):
+                self._collect_registration(node)
+                self._collect_drop_literal(ctx, node)
+
+    @staticmethod
+    def _is_abstract(node: ast.ClassDef, bases: list[str]) -> bool:
+        if "ABC" in bases:
+            return True
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in stmt.decorator_list:
+                    if _attr_chain(deco)[-1:] == ["abstractmethod"]:
+                        return True
+        return False
+
+    def _collect_registration(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain[-1:] == ["register_policy"] and len(node.args) >= 2:
+            factory = _attr_chain(node.args[1])
+            if factory:
+                self._registered.add(factory[-1])
+        elif chain[-1:] == ["update"] and len(node.args) == 1:
+            # `_REGISTRY.update({...: Factory})` in policies/registry.py.
+            if not (len(chain) >= 2 and "REGISTRY" in chain[-2].upper()):
+                return
+            arg = node.args[0]
+            if isinstance(arg, ast.Dict):
+                for value in arg.values:
+                    factory = _attr_chain(value)
+                    if factory:
+                        self._registered.add(factory[-1])
+
+    def _collect_drop_literal(self, ctx: FileContext, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        reason: ast.expr | None = None
+        if chain[-1] in self._DROP_CALLS:
+            idx = self._DROP_CALLS[chain[-1]]
+            if len(node.args) > idx:
+                reason = node.args[idx]
+        elif chain[-1] == "emit" and node.args:
+            topic = node.args[0]
+            if (
+                isinstance(topic, ast.Constant)
+                and topic.value == "message.dropped"
+                and len(node.args) >= 4
+            ):
+                reason = node.args[3]
+        for kw in node.keywords:
+            if kw.arg == "reason":
+                reason = kw.value
+        if isinstance(reason, ast.Constant) and isinstance(reason.value, str):
+            self._literal_hits.append(
+                Violation(
+                    code=self.code,
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"drop reason {reason.value!r} is a string literal; "
+                        "use a DROP_* constant from repro.net.outcomes"
+                    ),
+                )
+            )
+
+    def finalize(self) -> Iterator[Violation]:
+        yield from self._literal_hits
+        policy_classes = set(self._ROOTS)
+        changed = True
+        while changed:
+            changed = False
+            for name, (bases, _, _, _) in self._classes.items():
+                if name not in policy_classes and policy_classes & set(bases):
+                    policy_classes.add(name)
+                    changed = True
+        for name in sorted(policy_classes - self._ROOTS):
+            bases, is_abstract, path, line = self._classes[name]
+            if is_abstract or name in self._registered:
+                continue
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=line,
+                col=0,
+                message=(
+                    f"BufferPolicy subclass {name} is not registered in "
+                    "policies/registry.py (register_policy or _REGISTRY)"
+                ),
+            )
+
+
+# -- REP006 ------------------------------------------------------------------
+
+
+class Rep006SwallowedException(Rule):
+    """Engine/net/parallel code must fail loudly.
+
+    A swallowed exception in the event loop, the transfer manager or the
+    worker pool does not crash the run — it silently skews delivery ratios
+    and copy counts, which is the worst possible failure mode for a
+    reproduction.  Bare ``except:`` additionally catches
+    ``KeyboardInterrupt``/``SystemExit`` and can hang sweeps.  Catch the
+    narrowest type and either handle, re-raise, or record the failure
+    (``FailedRun``).
+    """
+
+    code = "REP006"
+    title = "bare/silently-swallowed exception"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dirs("engine", "net", "parallel"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare `except:` (catches KeyboardInterrupt/SystemExit); "
+                    "name the exception type",
+                )
+            elif all(self._is_noop(stmt) for stmt in node.body):
+                yield self.violation(
+                    ctx, node,
+                    "exception silently swallowed (handler body is only "
+                    "pass/...); handle, re-raise, or record the failure",
+                )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+
+
+# -- REP007 ------------------------------------------------------------------
+
+
+class Rep007DeprecatedAlias(Rule):
+    """The ``BufferError_`` alias is deprecated — use ``ReproBufferError``.
+
+    The old trailing-underscore name confusingly shadowed the builtin
+    :class:`BufferError`; it now lives behind a module ``__getattr__`` that
+    emits :class:`DeprecationWarning` for external users.  First-party code
+    must not reference it at all (tests exercising the deprecation path use
+    ``getattr`` with a string, which this rule deliberately cannot see).
+    """
+
+    code = "REP007"
+    title = "reference to deprecated BufferError_ alias"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            name: str | None = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "BufferError_":
+                        name = alias.name
+                        break
+            if name == "BufferError_":
+                yield self.violation(
+                    ctx, node,
+                    "BufferError_ is deprecated; use ReproBufferError",
+                )
+
+
+#: Rule classes in code order; the runner instantiates fresh per invocation.
+ALL_RULES: tuple[type[Rule], ...] = (
+    Rep001AmbientRng,
+    Rep002WallClock,
+    Rep003TimeFloatEquality,
+    Rep004MutableDefault,
+    Rep005PolicyRegistry,
+    Rep006SwallowedException,
+    Rep007DeprecatedAlias,
+)

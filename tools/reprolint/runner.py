@@ -1,0 +1,138 @@
+"""File collection and rule driving for reprolint.
+
+Separated from :mod:`reprolint.rules` so tests can lint in-memory sources
+(:func:`lint_source`) and fixture trees (:func:`lint_paths`) without going
+through the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Iterable, Sequence
+from pathlib import Path, PurePosixPath
+
+import ast
+
+from reprolint.rules import (
+    ALL_RULES,
+    FileContext,
+    ProjectRule,
+    Rule,
+    Violation,
+)
+
+#: Directory name holding reprolint's own test fixtures (deliberate
+#: violations); always skipped so the repo-wide run stays clean.
+FIXTURE_DIR = "lint_fixtures"
+
+
+def _normalize(path: Path, root: Path) -> str:
+    """Repo-root-relative POSIX path (falls back to the path as given)."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return str(PurePosixPath(rel))
+
+
+def collect_files(paths: Sequence[str | Path], root: Path | None = None) -> list[tuple[str, Path]]:
+    """Expand files/directories into ``(normalized_name, real_path)`` pairs."""
+    root = root or Path.cwd()
+    out: list[tuple[str, Path]] = []
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for file in candidates:
+            if FIXTURE_DIR in file.parts:
+                continue
+            out.append((_normalize(file, root), file))
+    return out
+
+
+def _select_rules(codes: Iterable[str] | None) -> list[Rule]:
+    instances = [cls() for cls in ALL_RULES]
+    if codes is None:
+        return instances
+    wanted = {c.upper() for c in codes}
+    return [r for r in instances if r.code in wanted]
+
+
+def lint_source(
+    source: str, path: str, codes: Iterable[str] | None = None
+) -> list[Violation]:
+    """Lint one in-memory source as if it lived at *path* (for tests).
+
+    Project-wide rules (REP005) see only this file, so registry checks run
+    against whatever registrations the snippet itself contains.
+    """
+    rules = _select_rules(codes)
+    ctx = FileContext(path=path, tree=ast.parse(source, filename=path))
+    violations: list[Violation] = []
+    for rule in rules:
+        violations.extend(rule.check(ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.finalize())
+    return sorted(violations, key=lambda v: (v.path, v.line, v.code))
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: Path | None = None,
+    codes: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint files/directories; returns all violations, sorted."""
+    rules = _select_rules(codes)
+    violations: list[Violation] = []
+    for name, file in collect_files(paths, root):
+        try:
+            tree = ast.parse(file.read_text(encoding="utf-8"), filename=name)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    code="REP000",
+                    path=name,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        ctx = FileContext(path=name, tree=tree)
+        for rule in rules:
+            violations.extend(rule.check(ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.finalize())
+    return sorted(violations, key=lambda v: (v.path, v.line, v.code))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Repo-specific static analysis for the SDSRP reproduction "
+        "(determinism, buffer invariants, policy registry).",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--select", nargs="+", metavar="CODE", default=None,
+        help="only run these rule codes (e.g. REP001 REP004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.code}  {cls.title}")
+        return 0
+
+    violations = lint_paths(args.paths, codes=args.select)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
