@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint sanitize-smoke obs-smoke determinism bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,18 @@ lint:
 sanitize-smoke:
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy sdsrp --reduced
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.experiments fig8 --axis copies --policies sdsrp --workers 1
+
+# Observability layer (docs/observability.md): one reduced run with the
+# metric time series, event trace and profiler all attached.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy sdsrp --reduced \
+		--obs-out obs-metrics.json --trace obs-trace.jsonl --profile
+
+# Byte-identical replay suite (run twice, like CI, to catch cross-run
+# state leaks in the collectors themselves).
+determinism:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_determinism.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_determinism.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -61,5 +73,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
-	rm -f *.ckpt.jsonl
+	rm -f *.ckpt.jsonl obs-metrics.json obs-trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Per-phase wall-time profile of one reduced run (observability layer).
+
+Runs the reduced random-waypoint scenario with :class:`PhaseProfiler`
+attached and records the per-subsystem self-time breakdown into
+``bench_results.json`` (key ``profile_phases``), so performance work can see
+*where* simulation time goes — movement integration, contact detection,
+routing selection, policy decisions — not just the end-to-end wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import reduced
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import random_waypoint_scenario
+
+SEED = 8
+
+
+@pytest.mark.benchmark(group="profile")
+def test_profile_phases(benchmark, record_figure):
+    """Where does a reduced SDSRP run spend its wall time?"""
+    config = reduced(random_waypoint_scenario(policy="sdsrp", seed=SEED))
+    config = config.replace(profile=True)
+    summary = run_once(benchmark, lambda: run_scenario(config))
+    assert summary.profile, "profiling enabled but no phases recorded"
+    total = sum(summary.profile.values())
+    assert total > 0
+    print()
+    for phase, seconds in sorted(
+        summary.profile.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        print(f"  {phase:<12} {seconds:>8.4f} s  {seconds / total:>6.1%}")
+    record_figure("profile_phases", {
+        "scenario": config.name,
+        "policy": config.policy,
+        "seed": config.seed,
+        "wall_seconds": summary.wall_seconds,
+        "self_seconds": summary.profile,
+    })

@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.engine.clock import Clock
 from repro.engine.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.engine.hooks import ListenerRegistry
 from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.profiler import PhaseProfiler
 
 
 class Simulator:
@@ -49,6 +52,10 @@ class Simulator:
         self.clock = Clock(0.0)
         self.queue = EventQueue()
         self.listeners = ListenerRegistry()
+        #: Optional per-subsystem wall-time accounting (see
+        #: :mod:`repro.obs.profiler`).  ``None`` keeps the hot path free of
+        #: timing overhead; instrumented call sites check this attribute.
+        self.profiler: "PhaseProfiler | None" = None
         self._running = False
         self._events_processed = 0
 

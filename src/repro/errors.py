@@ -44,6 +44,11 @@ class SchedulingError(ReproError):
     """Event queue misuse (e.g. scheduling into the past)."""
 
 
+class ObsFormatError(ReproError, ValueError):
+    """An observability artifact (event trace / metrics export) could not be
+    parsed — malformed JSONL, truncated records, missing required keys."""
+
+
 class FaultInjectionError(ReproError):
     """Fault injector misuse (double start, unsupported world, etc.)."""
 
@@ -58,7 +63,10 @@ class InvariantViolation(SimulationError):
 
     Raised by :class:`repro.analysis.sanitizer.Sanitizer` with enough
     structure to locate the bug: which invariant, on which node, for which
-    message, at what simulation time.
+    message, at what simulation time.  When the failing run carried an
+    event trace, the runner attaches the last trace records as
+    :attr:`trace_tail` before the exception propagates (see
+    docs/observability.md).
     """
 
     def __init__(
@@ -75,6 +83,9 @@ class InvariantViolation(SimulationError):
         self.node_id = node_id
         self.msg_id = msg_id
         self.time = time
+        #: Last-N event-trace records leading up to the violation, filled in
+        #: by :func:`repro.experiments.runner.run_built` when tracing is on.
+        self.trace_tail: list[dict] | None = None
         where = []
         if node_id is not None:
             where.append(f"node={node_id}")

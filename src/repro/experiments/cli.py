@@ -19,10 +19,12 @@ import json
 import sys
 from typing import Any
 
+from repro.errors import InvariantViolation
 from repro.experiments import figures as F
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import build_scenario, run_built
 from repro.experiments.scenario import epfl_scenario, random_waypoint_scenario
 from repro.faults.plan import FaultPlan
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY, format_record
 from repro.reports.summary import RunSummary
 
 
@@ -71,9 +73,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.replace(faults=FaultPlan(
             churn_fraction=args.churn, churn_off_time=duty, churn_on_time=duty
         ))
-    summary = run_scenario(config)
+    config = config.replace(
+        obs_interval=args.obs_interval if args.obs_out else 0.0,
+        trace_capacity=args.trace_capacity if args.trace else 0,
+        profile=args.profile,
+    )
+    built = build_scenario(config)
+    try:
+        summary = run_built(built)
+    except InvariantViolation as exc:
+        if exc.trace_tail:
+            print(f"invariant violation; last {len(exc.trace_tail)} events:",
+                  file=sys.stderr)
+            for record in exc.trace_tail:
+                sys.stderr.write(format_record(record))
+        if args.trace and built.trace is not None:
+            built.trace.dump_jsonl(args.trace)
+            print(f"wrote {args.trace}", file=sys.stderr)
+        raise
     print(RunSummary.table_header())
     print(summary.table_row())
+    if args.obs_out and built.timeseries is not None:
+        built.timeseries.write(args.obs_out)
+        print(f"wrote {args.obs_out}")
+    if args.trace and built.trace is not None:
+        built.trace.dump_jsonl(args.trace)
+        print(f"wrote {args.trace}")
+    if args.profile and built.profiler is not None:
+        print()
+        print(built.profiler.table())
     if args.json:
         _dump_json(args.json, summary.as_dict())
     return 0
@@ -173,6 +201,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="validate runtime invariants every tick "
                             "(see docs/static_analysis.md)")
+    p_run.add_argument("--obs-out", type=str, default=None, metavar="FILE",
+                       help="write the metrics time series (.json or .csv; "
+                            "see docs/observability.md)")
+    p_run.add_argument("--obs-interval", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="time-series sample interval (default 60)")
+    p_run.add_argument("--trace", type=str, default=None, metavar="FILE",
+                       help="write the structured event trace as JSONL "
+                            "(also dumped on an invariant violation)")
+    p_run.add_argument("--trace-capacity", type=int,
+                       default=DEFAULT_TRACE_CAPACITY, metavar="N",
+                       help="event-trace ring-buffer size "
+                            f"(default {DEFAULT_TRACE_CAPACITY})")
+    p_run.add_argument("--profile", action="store_true",
+                       help="per-subsystem wall-time breakdown")
 
     p_fig3 = sub.add_parser("fig3", help="intermeeting distribution fit")
     _add_common(p_fig3)

@@ -18,7 +18,7 @@ from repro.core.oracle import GlobalInfectionOracle
 from repro.core.params import ESTIMATOR_ORACLE, SdsrpParams
 from repro.core.sdsrp import SdsrpPolicy, SdsrpShared
 from repro.engine.simulator import Simulator
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolation
 from repro.faults.injector import FaultInjector
 from repro.mobility.base import MobilityModel
 from repro.mobility.random_direction import RandomDirection
@@ -27,6 +27,9 @@ from repro.mobility.random_waypoint import RandomWaypoint
 from repro.mobility.taxi import TaxiFleet
 from repro.net.generator import MessageGenerator, TrafficSpec
 from repro.net.transfer import TransferManager
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.timeseries import TimeSeriesCollector
+from repro.obs.trace import DEFAULT_CONTEXT_EVENTS, EventTrace
 from repro.policies.base import BufferPolicy
 from repro.policies.registry import make_policy
 from repro.reports.buffer_report import BufferReport
@@ -64,6 +67,11 @@ class BuiltSimulation:
     buffer_report: BufferReport | None
     fault_injector: FaultInjector | None = None
     sanitizer: Sanitizer | None = None
+    #: Observability collectors (None unless enabled on the config; see
+    #: docs/observability.md).  All three are strictly observation-only.
+    timeseries: TimeSeriesCollector | None = None
+    trace: EventTrace | None = None
+    profiler: PhaseProfiler | None = None
 
 
 def _make_mobility(config: ScenarioConfig) -> MobilityModel:
@@ -220,6 +228,19 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
             nodes, check_copies=config.router in _TOKEN_CONSERVING_ROUTERS
         )
         sanitizer.subscribe(sim)
+
+    timeseries = None
+    if config.obs_interval > 0:
+        timeseries = TimeSeriesCollector(nodes, interval=config.obs_interval)
+        timeseries.subscribe(sim)
+    trace = None
+    if config.trace_capacity > 0:
+        trace = EventTrace(capacity=config.trace_capacity)
+        trace.subscribe(sim)
+    profiler = None
+    if config.profile:
+        profiler = PhaseProfiler()
+        sim.profiler = profiler
     return BuiltSimulation(
         config=config,
         sim=sim,
@@ -232,14 +253,32 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
         buffer_report=buffer_report,
         fault_injector=fault_injector,
         sanitizer=sanitizer,
+        timeseries=timeseries,
+        trace=trace,
+        profiler=profiler,
     )
 
 
-def run_scenario(config: ScenarioConfig) -> RunSummary:
-    """Build, run to the horizon, and summarize one scenario."""
-    wall_start = time.perf_counter()
-    built = build_scenario(config)
-    built.sim.run()
+def run_built(built: BuiltSimulation, wall_start: float | None = None) -> RunSummary:
+    """Run an assembled stack to the horizon and summarize it.
+
+    When an :class:`~repro.errors.InvariantViolation` escapes the sanitizer
+    and the run carried an event trace, the last
+    :data:`~repro.obs.trace.DEFAULT_CONTEXT_EVENTS` trace records are
+    attached to the exception as ``trace_tail`` before it propagates — the
+    CLI and test harnesses dump them as debugging context.
+    """
+    if wall_start is None:
+        wall_start = time.perf_counter()
+    config = built.config
+    try:
+        built.sim.run()
+    except InvariantViolation as exc:
+        if built.trace is not None:
+            exc.trace_tail = built.trace.tail(DEFAULT_CONTEXT_EVENTS)
+        raise
+    if built.timeseries is not None:
+        built.timeseries.finalize(built.sim.now)
     metrics = built.metrics
     return RunSummary(
         scenario=config.name,
@@ -261,7 +300,14 @@ def run_scenario(config: ScenarioConfig) -> RunSummary:
         contacts=built.contacts.contact_count,
         mean_intermeeting=built.contacts.mean_intermeeting(),
         wall_seconds=time.perf_counter() - wall_start,
+        profile=built.profiler.as_dict() if built.profiler is not None else {},
     )
+
+
+def run_scenario(config: ScenarioConfig) -> RunSummary:
+    """Build, run to the horizon, and summarize one scenario."""
+    wall_start = time.perf_counter()
+    return run_built(build_scenario(config), wall_start=wall_start)
 
 
 def run_scenario_safe(config: ScenarioConfig) -> RunSummary | FailedRun:

@@ -73,6 +73,15 @@ class ScenarioConfig:
     #: Exclude messages created before this time from all metrics (ONE's
     #: report warm-up; the paper reports without one).
     metrics_warmup: float = 0.0
+    # -- observability (all observation-only; see docs/observability.md) --
+    #: Sample interval (sim seconds) for the time-series collector
+    #: (:class:`repro.obs.timeseries.TimeSeriesCollector`); 0 disables it.
+    obs_interval: float = 0.0
+    #: Ring-buffer size for structured event tracing
+    #: (:class:`repro.obs.trace.EventTrace`); 0 disables tracing.
+    trace_capacity: int = 0
+    #: Per-subsystem wall-time profiling; fills ``RunSummary.profile``.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.mobility not in MOBILITY_KINDS:
@@ -89,6 +98,14 @@ class ScenarioConfig:
             raise ConfigurationError(f"n_nodes must be >= 2: {self.n_nodes}")
         if self.sim_time <= 0:
             raise ConfigurationError(f"sim_time must be positive: {self.sim_time}")
+        if self.obs_interval < 0:
+            raise ConfigurationError(
+                f"obs_interval must be >= 0: {self.obs_interval}"
+            )
+        if self.trace_capacity < 0:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 0: {self.trace_capacity}"
+            )
 
     def replace(self, **changes: Any) -> "ScenarioConfig":
         """A copy with *changes* applied (dataclasses.replace wrapper)."""

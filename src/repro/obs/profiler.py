@@ -1,0 +1,114 @@
+"""Per-subsystem wall-time accounting (profiling hooks).
+
+A :class:`PhaseProfiler` hangs off :attr:`repro.engine.simulator.Simulator.profiler`
+(``None`` by default — the hot path pays one attribute read when profiling
+is off).  Instrumented subsystems wrap their work in
+``with timed(sim.profiler, "movement"):`` blocks; nested phases are
+supported and each phase is charged its *self* time only, so the per-phase
+seconds sum to (approximately) the instrumented wall time with no double
+counting — e.g. a policy decision made while completing a transfer is
+charged to ``policy``, not twice.
+
+Wall-clock reads here use :func:`time.perf_counter`, which is explicitly
+allowed by reprolint REP002: profiling output is diagnostic and never feeds
+back into simulation state, so runs stay bit-reproducible with profiling on
+(enforced by ``tests/obs/test_observation_only.py``).
+
+Phase names used by the instrumented call sites:
+
+==============  ==============================================================
+``movement``    mobility model advance (:meth:`World.update`)
+``contacts``    contact detection / link-set recompute
+``links``       link up/down transitions (incl. routers reacting to them)
+``routing``     TTL purges, idle-sender kicks, send selection scans
+``policy``      buffer-policy drop decisions (make-room loops)
+``transfer``    transfer completion processing (receive path)
+``traffic``     message generation
+``observers``   listener fan-out of the per-tick ``world.updated`` event
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager
+
+__all__ = ["PhaseProfiler", "timed"]
+
+#: Shared no-op context for the profiling-off path (reentrant and reusable).
+_NULL: ContextManager[None] = nullcontext()
+
+
+class PhaseProfiler:
+    """Accumulates self-time wall seconds per named phase.
+
+    Not thread-safe — one profiler per simulator, driven by the (single
+    threaded) event loop.
+    """
+
+    def __init__(self) -> None:
+        #: Exclusive (self) seconds per phase.
+        self.self_seconds: dict[str, float] = {}
+        #: Number of times each phase was entered.
+        self.calls: dict[str, int] = {}
+        # Stack frames: [name, start, child_elapsed] (list for mutability).
+        self._stack: list[list] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block, charging nested phases to themselves."""
+        frame = [name, time.perf_counter(), 0.0]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            elapsed = time.perf_counter() - frame[1]
+            self.self_seconds[name] = (
+                self.self_seconds.get(name, 0.0) + elapsed - frame[2]
+            )
+            self.calls[name] = self.calls.get(name, 0) + 1
+            if self._stack:  # charge inclusive time to the parent's children
+                self._stack[-1][2] += elapsed
+
+    def total_seconds(self) -> float:
+        """Sum of all phases' self time (instrumented wall time)."""
+        return sum(self.self_seconds.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase -> self seconds, sorted by phase name (JSON-stable)."""
+        return {name: self.self_seconds[name] for name in sorted(self.self_seconds)}
+
+    def table(self) -> str:
+        """Human-readable per-phase breakdown (largest first)."""
+        total = self.total_seconds()
+        lines = [f"{'phase':<12} {'self (s)':>10} {'calls':>9} {'share':>7}"]
+        for name, secs in sorted(
+            self.self_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            share = secs / total if total > 0 else 0.0
+            lines.append(
+                f"{name:<12} {secs:>10.4f} {self.calls[name]:>9} {share:>6.1%}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PhaseProfiler {self.as_dict()}>"
+
+
+def timed(profiler: PhaseProfiler | None, name: str) -> ContextManager[None]:
+    """``profiler.phase(name)``, or a shared no-op when profiling is off.
+
+    The instrumentation idiom at every call site::
+
+        with timed(self.sim.profiler, "movement"):
+            ...
+
+    costs one function call and a no-op context enter/exit when disabled —
+    negligible next to the numpy work inside the blocks.
+    """
+    if profiler is None:
+        return _NULL
+    return profiler.phase(name)

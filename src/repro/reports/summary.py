@@ -39,9 +39,13 @@ class RunSummary:
     contacts: int = 0
     mean_intermeeting: float = float("nan")
     wall_seconds: float = 0.0
+    #: Per-phase wall-time breakdown (self seconds by subsystem, see
+    #: :mod:`repro.obs.profiler`); empty unless the run was profiled.
+    #: Diagnostic, like ``wall_seconds`` — never simulation state.
+    profile: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
-        """Flat dict (drops/faults expanded as ``drop_<reason>`` keys)."""
+        """Flat dict (drops/faults/profile expanded as prefixed keys)."""
         out = asdict(self)
         drops = out.pop("drops")
         for reason, count in drops.items():
@@ -49,6 +53,9 @@ class RunSummary:
         faults = out.pop("faults")
         for kind, count in faults.items():
             out[f"fault_{kind}"] = count
+        profile = out.pop("profile")
+        for phase, seconds in profile.items():
+            out[f"profile_{phase}"] = seconds
         return out
 
     def record(self) -> dict[str, Any]:

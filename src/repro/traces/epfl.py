@@ -34,21 +34,24 @@ def parse_cabspotting_file(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
     path = Path(path)
     times: list[float] = []
     coords: list[tuple[float, float]] = []
-    with path.open() as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            parts = line.split()
-            if len(parts) != 4:
-                raise TraceFormatError(f"{path}:{lineno}: expected 4 fields")
-            try:
-                lat, lon = float(parts[0]), float(parts[1])
-                t = float(parts[3])
-            except ValueError as exc:
-                raise TraceFormatError(f"{path}:{lineno}: {exc}") from None
-            times.append(t)
-            coords.append((lat, lon))
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"{path}: not UTF-8 text ({exc})") from None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceFormatError(f"{path}:{lineno}: expected 4 fields")
+        try:
+            lat, lon = float(parts[0]), float(parts[1])
+            t = float(parts[3])
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: {exc}") from None
+        times.append(t)
+        coords.append((lat, lon))
     if not times:
         raise TraceFormatError(f"{path}: empty cab file")
     t_arr = np.asarray(times)

@@ -14,12 +14,16 @@ detector.  Uses:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.events import PRIORITY_WORLD
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.net.transfer import TransferManager
-from repro.traces.contact_trace import ContactTrace
 from repro.world.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - breaks the traces<->world import cycle
+    from repro.traces.contact_trace import ContactTrace
 
 
 class TraceWorld:

@@ -16,6 +16,7 @@ from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.mobility.base import MobilityModel
 from repro.net.transfer import TransferManager
+from repro.obs.profiler import timed
 from repro.world.contacts import ContactDetector, make_detector
 from repro.world.node import Node
 
@@ -70,32 +71,39 @@ class World:
     def update(self) -> None:
         """One world step: move, rewire links, purge TTLs, kick senders."""
         now = self.sim.now
-        self.positions = self.mobility.advance(now)
-        new_links = self.detector.pairs(self.positions, self._max_range)
-        if not self._uniform_range:
-            new_links = self._filter_heterogeneous(new_links)
-        if self.down_nodes:
-            new_links = {
-                (i, j)
-                for i, j in new_links
-                if i not in self.down_nodes and j not in self.down_nodes
-            }
+        profiler = self.sim.profiler
+        with timed(profiler, "movement"):
+            self.positions = self.mobility.advance(now)
+        with timed(profiler, "contacts"):
+            new_links = self.detector.pairs(self.positions, self._max_range)
+            if not self._uniform_range:
+                new_links = self._filter_heterogeneous(new_links)
+            if self.down_nodes:
+                new_links = {
+                    (i, j)
+                    for i, j in new_links
+                    if i not in self.down_nodes and j not in self.down_nodes
+                }
 
-        for i, j in self.links - new_links:
-            self._link_down(self.nodes[i], self.nodes[j])
-        for i, j in sorted(new_links - self.links):
-            self._link_up(self.nodes[i], self.nodes[j])
-        self.links = new_links
+        with timed(profiler, "links"):
+            for i, j in self.links - new_links:
+                self._link_down(self.nodes[i], self.nodes[j])
+            for i, j in sorted(new_links - self.links):
+                self._link_up(self.nodes[i], self.nodes[j])
+            self.links = new_links
 
-        for node in self.nodes:
-            if node.router is not None:
-                node.router.purge_expired()
-        self.sim.listeners.emit("world.updated", now)
+        with timed(profiler, "routing"):
+            for node in self.nodes:
+                if node.router is not None:
+                    node.router.purge_expired()
+        with timed(profiler, "observers"):
+            self.sim.listeners.emit("world.updated", now)
         # Idle senders retry: new eligibility can appear without a link
         # event (e.g. a neighbor dropped its copy of a message we hold).
-        for node in self.nodes:
-            if node.router is not None and not node.sending and node.neighbors:
-                node.router.try_send()
+        with timed(profiler, "routing"):
+            for node in self.nodes:
+                if node.router is not None and not node.sending and node.neighbors:
+                    node.router.try_send()
 
     def _filter_heterogeneous(
         self, pairs: set[tuple[int, int]]

@@ -78,6 +78,41 @@ def test_run_epfl_scenario(capsys):
     assert "snw-c" in capsys.readouterr().out
 
 
+def test_run_obs_outputs(capsys, tmp_path):
+    obs_file = tmp_path / "metrics.json"
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["run", "--reduced", "--policy", "fifo",
+                 "--obs-out", str(obs_file), "--obs-interval", "120",
+                 "--trace", str(trace_file), "--profile"]) == 0
+    out = capsys.readouterr().out
+
+    from repro.obs.timeseries import read_timeseries_json
+    payload = read_timeseries_json(obs_file)
+    assert payload["interval"] == 120.0
+    assert payload["samples"]["time"]
+
+    from repro.obs.trace import aggregate_trace, read_trace_jsonl
+    records = read_trace_jsonl(trace_file)
+    assert aggregate_trace(records)["created"] > 0
+
+    assert "phase" in out  # profiler table header
+    assert "movement" in out
+
+
+def test_run_obs_csv_export(tmp_path):
+    obs_file = tmp_path / "metrics.csv"
+    assert main(["run", "--reduced", "--policy", "fifo",
+                 "--obs-out", str(obs_file)]) == 0
+    header = obs_file.read_text().splitlines()[0]
+    assert header.startswith("time,created,delivered")
+
+
+def test_run_without_obs_flags_writes_nothing(tmp_path, capsys):
+    assert main(["run", "--reduced", "--policy", "fifo"]) == 0
+    assert "phase" not in capsys.readouterr().out
+    assert list(tmp_path.iterdir()) == []
+
+
 def test_run_with_churn(capsys, tmp_path):
     out_file = tmp_path / "churn.json"
     assert main(["run", "--reduced", "--policy", "fifo", "--churn", "0.4",

@@ -1,0 +1,90 @@
+"""Golden regression tests for the figure pipelines.
+
+Tiny fixed-seed sweeps through the real ``fig8``/``fig9`` code paths,
+compared against committed expected outputs.  Any change to the simulator
+core, RNG stream layout, routing/policy logic or sweep plumbing that moves a
+number shows up here as a diff against the golden file — *before* anyone
+burns hours on a full paper-scale regeneration.
+
+When a change is intentional, regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_figures.py
+
+and commit the updated files under ``tests/experiments/golden/`` together
+with a note in the change log explaining the behavioural change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import fig8_copies, fig9_copies
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small enough for seconds-scale CI, large enough to exercise congestion.
+NODE_FACTOR = 0.12
+TIME_FACTOR = 0.06
+POLICIES = ("fifo", "sdsrp")
+SEED = 1
+
+
+def figure_payload(data) -> dict:
+    return {
+        "figure": data.figure,
+        "x_label": data.x_label,
+        "x_values": [list(x) if isinstance(x, tuple) else x for x in data.x_values],
+        "series": data.series,
+    }
+
+
+def check_golden(name: str, payload: dict) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["figure"] == expected["figure"]
+    assert payload["x_label"] == expected["x_label"]
+    assert payload["x_values"] == expected["x_values"]
+    assert set(payload["series"]) == set(expected["series"])
+    for policy, metrics in expected["series"].items():
+        for metric, values in metrics.items():
+            got = payload["series"][policy][metric]
+            assert len(got) == len(values), (policy, metric)
+            for i, (g, e) in enumerate(zip(got, values)):
+                if math.isnan(e):
+                    assert math.isnan(g), (policy, metric, i)
+                else:
+                    # Tolerance covers float text round-trips only — the
+                    # pipeline itself is deterministic.
+                    assert g == pytest.approx(e, rel=1e-9, abs=1e-12), (
+                        policy, metric, i
+                    )
+
+
+def test_fig8_copies_matches_golden():
+    data = fig8_copies(
+        policies=POLICIES, replicates=1, workers=1, seed=SEED,
+        node_factor=NODE_FACTOR, time_factor=TIME_FACTOR,
+    )
+    assert not data.failures
+    check_golden("fig8_copies", figure_payload(data))
+
+
+def test_fig9_copies_matches_golden():
+    data = fig9_copies(
+        policies=POLICIES, replicates=1, workers=1, seed=SEED,
+        node_factor=NODE_FACTOR, time_factor=TIME_FACTOR,
+    )
+    assert not data.failures
+    check_golden("fig9_copies", figure_payload(data))

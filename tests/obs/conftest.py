@@ -1,0 +1,21 @@
+"""Shared scaffolding for the observability tests.
+
+``tiny_config`` is a heavily scaled-down random-waypoint scenario (about a
+tenth of the fleet for a twentieth of the horizon) — big enough to generate
+traffic, transfers, drops and deliveries, small enough that a dozen runs per
+test module stay fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.scenario import ScenarioConfig, random_waypoint_scenario
+from repro.experiments.scenario import scale_scenario
+
+
+def tiny_config(**overrides: Any) -> ScenarioConfig:
+    config = scale_scenario(
+        random_waypoint_scenario(), node_factor=0.1, time_factor=0.05
+    )
+    return config.replace(**overrides) if overrides else config

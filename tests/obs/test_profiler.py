@@ -1,0 +1,84 @@
+"""PhaseProfiler: self-time accounting, nesting, and the disabled path."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.profiler import PhaseProfiler, timed
+
+
+class TestPhaseProfiler:
+    def test_records_phase_and_call_count(self):
+        prof = PhaseProfiler()
+        with prof.phase("movement"):
+            pass
+        with prof.phase("movement"):
+            pass
+        assert prof.calls["movement"] == 2
+        assert prof.self_seconds["movement"] >= 0.0
+
+    def test_nested_phases_charge_self_time_only(self):
+        """The parent's self time excludes time spent inside the child."""
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                time.sleep(0.02)
+        assert prof.self_seconds["inner"] >= 0.015
+        # Outer did ~nothing itself; the 20 ms belong to inner alone.
+        assert prof.self_seconds["outer"] < prof.self_seconds["inner"]
+        total = prof.total_seconds()
+        assert total == sum(prof.self_seconds.values())
+
+    def test_recursive_same_phase_does_not_double_count(self):
+        prof = PhaseProfiler()
+        with prof.phase("routing"):
+            with prof.phase("routing"):
+                time.sleep(0.01)
+        # Wall time inside was ~10 ms; self-time sum must not exceed the
+        # outer elapsed (which it would, doubled, under naive accounting).
+        assert prof.self_seconds["routing"] < 0.1
+        assert prof.calls["routing"] == 2
+
+    def test_exception_inside_phase_still_closes_frame(self):
+        prof = PhaseProfiler()
+        try:
+            with prof.phase("policy"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert prof.calls["policy"] == 1
+        assert prof._stack == []
+
+    def test_as_dict_is_sorted_and_detached(self):
+        prof = PhaseProfiler()
+        with prof.phase("b"):
+            pass
+        with prof.phase("a"):
+            pass
+        d = prof.as_dict()
+        assert list(d) == ["a", "b"]
+        d["a"] = 99.0
+        assert prof.self_seconds["a"] != 99.0
+
+    def test_table_lists_largest_first(self):
+        prof = PhaseProfiler()
+        with prof.phase("slow"):
+            time.sleep(0.02)
+        with prof.phase("fast"):
+            pass
+        lines = prof.table().splitlines()
+        slow_idx = next(i for i, l in enumerate(lines) if "slow" in l)
+        fast_idx = next(i for i, l in enumerate(lines) if "fast" in l)
+        assert slow_idx < fast_idx
+
+
+class TestTimed:
+    def test_none_profiler_is_a_noop_context(self):
+        with timed(None, "anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_timed_delegates_to_profiler(self):
+        prof = PhaseProfiler()
+        with timed(prof, "transfer"):
+            pass
+        assert prof.calls["transfer"] == 1

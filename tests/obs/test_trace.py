@@ -1,0 +1,146 @@
+"""EventTrace: ring bounds, JSONL round-trip, parse errors, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsFormatError
+from repro.experiments.runner import build_scenario, run_built
+from repro.obs.trace import (
+    EventTrace,
+    aggregate_trace,
+    format_record,
+    read_trace_jsonl,
+)
+from tests.obs.conftest import tiny_config
+
+#: Large enough that the tiny scenario never evicts (asserted per test).
+BIG_CAPACITY = 500_000
+
+
+def traced_run(**overrides):
+    built = build_scenario(tiny_config(trace_capacity=BIG_CAPACITY, **overrides))
+    summary = run_built(built)
+    assert built.trace is not None
+    assert built.trace.events_seen == len(built.trace), "ring evicted events"
+    return built, summary
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention(self):
+        trace = EventTrace(capacity=3)
+        for i in range(10):
+            trace._add("message.expired", msg=f"M{i}", node=0)
+        assert len(trace) == 3
+        assert trace.events_seen == 10
+        assert [r["msg"] for r in trace.records()] == ["M7", "M8", "M9"]
+
+    def test_tail_returns_last_n(self):
+        trace = EventTrace(capacity=10)
+        for i in range(5):
+            trace._add("message.expired", msg=f"M{i}", node=0)
+        assert [r["msg"] for r in trace.tail(2)] == ["M3", "M4"]
+        assert len(trace.tail(100)) == 5
+        assert trace.tail(0) == []
+
+    def test_rejects_nonpositive_capacity(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EventTrace(capacity=0)
+
+
+class TestRoundTrip:
+    def test_dump_parse_round_trip(self, tmp_path):
+        built, _ = traced_run()
+        path = tmp_path / "trace.jsonl"
+        n = built.trace.dump_jsonl(path)
+        parsed = read_trace_jsonl(path)
+        assert n == len(parsed) == len(built.trace)
+        assert parsed == built.trace.records()
+
+    def test_format_record_is_compact_and_sorted(self):
+        line = format_record({"topic": "link.up", "t": 1.0, "b": 2, "a": 1})
+        assert line == '{"a":1,"b":2,"t":1.0,"topic":"link.up"}\n'
+
+    def test_aggregate_matches_metrics_collector(self):
+        """Re-aggregating the trace reproduces the in-memory counters."""
+        built, summary = traced_run()
+        agg = aggregate_trace(built.trace.records())
+        metrics = built.metrics
+        assert agg["created"] == metrics.created == summary.created
+        assert agg["delivered"] == metrics.delivered == summary.delivered
+        assert agg["relayed"] == metrics.relayed == summary.relayed
+        assert agg["drops_by_reason"] == dict(metrics.drops_by_reason)
+        assert agg["faults_by_kind"] == dict(metrics.faults_by_kind)
+        assert agg["created"] > 0 and agg["relayed"] > 0  # non-trivial run
+
+    def test_aggregate_after_file_round_trip(self, tmp_path):
+        built, _ = traced_run()
+        path = tmp_path / "trace.jsonl"
+        built.trace.dump_jsonl(path)
+        assert aggregate_trace(read_trace_jsonl(path)) == aggregate_trace(
+            built.trace.records()
+        )
+
+
+class TestParseErrors:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_truncated_json_line(self, tmp_path):
+        good = format_record({"t": 1.0, "topic": "link.up"})
+        path = self.write(tmp_path, good + '{"t": 2.0, "topic": "li')
+        with pytest.raises(ObsFormatError, match=r"bad\.jsonl:2"):
+            read_trace_jsonl(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = self.write(tmp_path, "[1, 2, 3]\n")
+        with pytest.raises(ObsFormatError, match="not a JSON object"):
+            read_trace_jsonl(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        path = self.write(tmp_path, json.dumps({"topic": "link.up"}) + "\n")
+        with pytest.raises(ObsFormatError, match="missing 't'/'topic'"):
+            read_trace_jsonl(path)
+
+    def test_non_numeric_timestamp(self, tmp_path):
+        for bad_t in ('"soon"', "true", "null"):
+            path = self.write(
+                tmp_path, f'{{"t": {bad_t}, "topic": "link.up"}}\n'
+            )
+            with pytest.raises(ObsFormatError, match="timestamp"):
+                read_trace_jsonl(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        good = format_record({"t": 1.0, "topic": "link.up"})
+        path = self.write(tmp_path, "\n" + good + "\n\n")
+        assert len(read_trace_jsonl(path)) == 1
+
+    def test_aggregate_dropped_without_reason(self):
+        with pytest.raises(ObsFormatError, match="without 'reason'"):
+            aggregate_trace([{"t": 1.0, "topic": "message.dropped", "msg": "M1"}])
+
+    def test_aggregate_fault_without_kind(self):
+        with pytest.raises(ObsFormatError, match="without 'kind'"):
+            aggregate_trace([{"t": 1.0, "topic": "fault.injected"}])
+
+
+class TestSchema:
+    def test_every_record_has_time_and_topic(self):
+        built, _ = traced_run()
+        from repro.obs.trace import TRACE_TOPICS
+
+        topics_seen = set()
+        for record in built.trace.records():
+            assert isinstance(record["t"], float)
+            assert record["topic"] in TRACE_TOPICS
+            topics_seen.add(record["topic"])
+        # The tiny congested run must exercise the core message lifecycle.
+        assert {"message.created", "message.relayed", "message.delivered",
+                "message.dropped", "transfer.started", "transfer.commit",
+                "link.up", "link.down"} <= topics_seen
