@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke obs-smoke determinism bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint sanitize-smoke obs-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static layer: repo-specific AST lint (REP001..REP007, see
+# Static layer: repo-specific AST lint (REP001..REP008, see
 # docs/static_analysis.md) plus mypy on the core packages when available
 # (mypy is a CI dependency, not a runtime one).
 lint:
@@ -39,6 +39,12 @@ obs-smoke:
 determinism:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_determinism.py
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_determinism.py
+
+# Checkpointing layer (docs/checkpointing.md): snapshot/restore round-trips
+# byte-compared against uninterrupted runs, for every router, plus crash
+# recovery through the sweep engine.
+snapshot-roundtrip:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/snapshot tests/obs/test_snapshot_determinism.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,73 @@
+"""Snapshot subsystem benchmarks: capture/restore cost and file size.
+
+Measures, as a function of fleet size, what checkpointing actually costs a
+sweep: the in-memory ``save`` capture (paid every ``snapshot_every`` sim
+seconds), the atomic gzip write, the read+``restore`` path a resumed worker
+pays once, and the on-disk snapshot size.  The series lands in
+``bench_results.json`` under ``snapshot_scaling`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import random_waypoint_scenario, scale_scenario
+from repro.experiments.runner import build_scenario
+from repro.snapshot import read_snapshot, restore, save, write_snapshot
+
+#: Accumulates one point per parametrization; each call re-records the
+#: superset so the session dump always holds every completed fleet size.
+_POINTS: dict[int, dict[str, float]] = {}
+
+
+def snapshot_config(node_factor: float):
+    return scale_scenario(
+        random_waypoint_scenario(policy="sdsrp", seed=5),
+        node_factor=node_factor,
+        time_factor=0.05,
+    )
+
+
+@pytest.mark.benchmark(group="snapshot")
+@pytest.mark.parametrize("node_factor", [0.1, 0.25, 0.5])
+def test_snapshot_save_restore_scaling(
+    benchmark, record_figure, tmp_path, node_factor
+):
+    built = build_scenario(snapshot_config(node_factor))
+    built.sim.run()
+    n_nodes = built.config.n_nodes
+
+    snap = run_once(benchmark, lambda: save(built))
+
+    path = tmp_path / "bench.snap.gz"
+    t0 = time.perf_counter()
+    write_snapshot(snap, path)
+    write_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restored = restore(read_snapshot(path))
+    restore_seconds = time.perf_counter() - t0
+    assert restored.sim.now == pytest.approx(built.sim.now)
+    assert len(restored.nodes) == n_nodes
+
+    _POINTS[n_nodes] = {
+        "save_seconds": benchmark.stats.stats.mean,
+        "write_seconds": write_seconds,
+        "restore_seconds": restore_seconds,
+        "size_bytes": path.stat().st_size,
+        "buffered_messages": sum(
+            len(node["buffer"]) for node in snap.state["nodes"]
+        ),
+    }
+    record_figure("snapshot_scaling", {
+        "x_label": "n_nodes",
+        "x_values": sorted(_POINTS),
+        "points": {str(n): _POINTS[n] for n in sorted(_POINTS)},
+    })
+    point = _POINTS[n_nodes]
+    print(f"\nn={n_nodes}: save {point['save_seconds'] * 1e3:.1f} ms, "
+          f"restore {point['restore_seconds'] * 1e3:.1f} ms, "
+          f"{point['size_bytes'] / 1024:.0f} KiB on disk")

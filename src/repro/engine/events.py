@@ -29,6 +29,10 @@ PRIORITY_WORLD = -10
 PRIORITY_FAULT = -5
 #: Priority for end-of-step bookkeeping (reports sample after message logic).
 PRIORITY_REPORT = 10
+#: Priority for state snapshots — strictly after *everything* else at the
+#: same instant, so a snapshot taken at time T sees every same-time event
+#: already applied and every pending event strictly in the future.
+PRIORITY_SNAPSHOT = 100
 
 
 class Event:

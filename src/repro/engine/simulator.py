@@ -24,6 +24,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.profiler import PhaseProfiler
 
 
+class _Recurring:
+    """Book-keeping for one :meth:`Simulator.schedule_every` chain.
+
+    Tracks the next scheduled firing time so a snapshot can re-arm the chain
+    at the *exact* float it would have fired at (repeated ``now + interval``
+    addition drifts, so next times cannot be recomputed as ``k * interval``).
+    """
+
+    __slots__ = ("interval", "callback", "args", "priority", "next_time")
+
+    def __init__(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        priority: int,
+    ) -> None:
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.priority = priority
+        #: Time of the next pending firing (NaN once the chain has run past
+        #: the horizon and stopped re-arming itself).
+        self.next_time = float("nan")
+
+
 class Simulator:
     """Event loop with a shared clock and pub/sub registry.
 
@@ -58,6 +84,9 @@ class Simulator:
         self.profiler: "PhaseProfiler | None" = None
         self._running = False
         self._events_processed = 0
+        #: Named recurring event chains (see :meth:`schedule_every`); used by
+        #: :mod:`repro.snapshot` to capture and re-arm periodic callbacks.
+        self._recurring: dict[str, _Recurring] = {}
 
     # -- scheduling -------------------------------------------------------
 
@@ -106,23 +135,50 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_NORMAL,
         start: float | None = None,
+        name: str | None = None,
     ) -> None:
         """Schedule *callback* at fixed intervals until the horizon.
 
         The callback is re-armed after each firing, so a callback that raises
-        stops its own recurrence (and the run).
+        stops its own recurrence (and the run).  Passing *name* registers the
+        chain in :attr:`_recurring` so snapshot/restore can re-arm it at the
+        exact pending firing time.
         """
         if interval <= 0:
             raise SchedulingError(f"interval must be positive, got {interval}")
         first = self.clock.now if start is None else start
+        rec = _Recurring(float(interval), callback, args, priority)
+        if name is not None:
+            self._recurring[name] = rec
+        rec.next_time = float(first)
+        self.schedule_at(first, self._fire_recurring, rec, priority=priority)
 
-        def fire() -> None:
-            callback(*args)
-            next_time = self.clock.now + interval
-            if next_time <= self.end_time:
-                self.queue.schedule(next_time, fire, priority=priority)
+    def _fire_recurring(self, rec: _Recurring) -> None:
+        rec.callback(*rec.args)
+        next_time = self.clock.now + rec.interval
+        if next_time <= self.end_time:
+            rec.next_time = next_time
+            self.queue.schedule(
+                next_time, self._fire_recurring, rec, priority=rec.priority
+            )
+        else:
+            rec.next_time = float("nan")
 
-        self.schedule_at(first, fire, priority=priority)
+    def rearm_recurring(self, name: str, next_time: float) -> None:
+        """Re-schedule the named recurring chain at *next_time* (restore path).
+
+        A NaN *next_time* means the chain had already run past the horizon
+        when the snapshot was taken and stays dead; a finite time past the
+        (possibly overridden) horizon is parked as NaN without scheduling.
+        """
+        rec = self._recurring[name]
+        if next_time != next_time:  # NaN: chain was exhausted at capture
+            return
+        if next_time > self.end_time:
+            rec.next_time = float("nan")
+            return
+        rec.next_time = float(next_time)
+        self.schedule_at(next_time, self._fire_recurring, rec, priority=rec.priority)
 
     # -- running ----------------------------------------------------------
 

@@ -58,6 +58,12 @@ class SweepInterrupted(ReproError):
     failure handler was installed to absorb it."""
 
 
+class SnapshotError(ReproError):
+    """A simulation snapshot could not be written, read, or restored —
+    unknown schema version, checksum mismatch, truncated file, or state
+    that does not match the scenario it claims to continue."""
+
+
 class InvariantViolation(SimulationError):
     """The runtime sanitizer caught a broken simulation invariant.
 

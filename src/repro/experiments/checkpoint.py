@@ -67,12 +67,15 @@ class SweepCheckpoint:
                     kind = entry["kind"]
                     data = entry["data"]
                     key = entry["key"]
+                    if kind == _KIND_SUMMARY:
+                        record = RunSummary.from_record(data)
+                    elif kind == _KIND_FAILED:
+                        record = FailedRun.from_record(data)
+                    else:
+                        continue
                 except (json.JSONDecodeError, KeyError, TypeError):
                     continue  # torn final line from a mid-write crash
-                if kind == _KIND_SUMMARY:
-                    self._records[key] = RunSummary.from_record(data)
-                elif kind == _KIND_FAILED:
-                    self._records[key] = FailedRun.from_record(data)
+                self._records[key] = record
 
     # -- queries -------------------------------------------------------------
 
@@ -95,6 +98,21 @@ class SweepCheckpoint:
 
     # -- writes --------------------------------------------------------------
 
+    def _needs_newline(self) -> bool:
+        """True when the file exists and does not end in a newline.
+
+        A worker killed mid-write leaves a torn final line.  Appending a
+        fresh record directly after it would glue two JSON fragments onto
+        one line and lose *both*; prepending a newline first quarantines
+        the torn fragment on its own line, where ``_load`` skips it.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False  # missing or empty file: nothing to repair
+
     def record(self, key: str, result: SweepResult) -> None:
         """Append one finished item and force it to disk."""
         kind = _KIND_SUMMARY if isinstance(result, RunSummary) else _KIND_FAILED
@@ -104,7 +122,8 @@ class SweepCheckpoint:
             "data": result.record(),
         }
         self._records[key] = result
+        prefix = "\n" if self._needs_newline() else ""
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, default=str) + "\n")
+            fh.write(prefix + json.dumps(entry, default=str) + "\n")
             fh.flush()
             os.fsync(fh.fileno())

@@ -77,8 +77,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs_interval=args.obs_interval if args.obs_out else 0.0,
         trace_capacity=args.trace_capacity if args.trace else 0,
         profile=args.profile,
+        snapshot_every=args.snapshot_every,
+        snapshot_to=args.snapshot_to,
     )
-    built = build_scenario(config)
+    if args.from_snapshot:
+        from repro.snapshot import read_snapshot, restore
+
+        built = restore(read_snapshot(args.from_snapshot))
+        print(f"resumed {built.config.name!r} from {args.from_snapshot} "
+              f"at t={built.sim.now:.0f}")
+    else:
+        built = build_scenario(config)
     try:
         summary = run_built(built)
     except InvariantViolation as exc:
@@ -216,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default {DEFAULT_TRACE_CAPACITY})")
     p_run.add_argument("--profile", action="store_true",
                        help="per-subsystem wall-time breakdown")
+    p_run.add_argument("--snapshot-every", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="capture a full simulator snapshot every N sim "
+                            "seconds (see docs/checkpointing.md)")
+    p_run.add_argument("--snapshot-to", type=str, default=None, metavar="FILE",
+                       help="rolling snapshot file (gzip JSON, written "
+                            "atomically; requires --snapshot-every)")
+    p_run.add_argument("--from-snapshot", type=str, default=None,
+                       metavar="FILE",
+                       help="resume from a snapshot file instead of building "
+                            "the scenario from scratch (scenario flags are "
+                            "taken from the snapshot)")
 
     p_fig3 = sub.add_parser("fig3", help="intermeeting distribution fit")
     _add_common(p_fig3)

@@ -12,13 +12,15 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.analysis.sanitizer import Sanitizer
 from repro.core.oracle import GlobalInfectionOracle
 from repro.core.params import ESTIMATOR_ORACLE, SdsrpParams
 from repro.core.sdsrp import SdsrpPolicy, SdsrpShared
 from repro.engine.simulator import Simulator
-from repro.errors import ConfigurationError, InvariantViolation
+from repro.errors import ConfigurationError, InvariantViolation, SnapshotError
 from repro.faults.injector import FaultInjector
 from repro.mobility.base import MobilityModel
 from repro.mobility.random_direction import RandomDirection
@@ -51,6 +53,9 @@ from repro.world.radio import Radio
 from repro.world.world import World
 from repro.experiments.scenario import ScenarioConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.snapshot.snapshotter import PeriodicSnapshotter
+
 
 @dataclass
 class BuiltSimulation:
@@ -72,6 +77,11 @@ class BuiltSimulation:
     timeseries: TimeSeriesCollector | None = None
     trace: EventTrace | None = None
     profiler: PhaseProfiler | None = None
+    #: The seeded stream factory the stack was built with; required by
+    #: :func:`repro.snapshot.save` to capture RNG stream states.
+    rng: RngFactory | None = None
+    #: Periodic checkpointer (None unless ``config.snapshot_every > 0``).
+    snapshotter: "PeriodicSnapshotter | None" = None
 
 
 def _make_mobility(config: ScenarioConfig) -> MobilityModel:
@@ -241,7 +251,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
     if config.profile:
         profiler = PhaseProfiler()
         sim.profiler = profiler
-    return BuiltSimulation(
+    built = BuiltSimulation(
         config=config,
         sim=sim,
         world=world,
@@ -256,7 +266,17 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
         timeseries=timeseries,
         trace=trace,
         profiler=profiler,
+        rng=rng,
     )
+    if config.snapshot_every > 0:
+        # Imported here: repro.snapshot.restore imports this module back.
+        from repro.snapshot.snapshotter import PeriodicSnapshotter
+
+        built.snapshotter = PeriodicSnapshotter(
+            built, every=config.snapshot_every, path=config.snapshot_to
+        )
+        built.snapshotter.start()
+    return built
 
 
 def run_built(built: BuiltSimulation, wall_start: float | None = None) -> RunSummary:
@@ -310,6 +330,31 @@ def run_scenario(config: ScenarioConfig) -> RunSummary:
     return run_built(build_scenario(config), wall_start=wall_start)
 
 
+def _try_resume(config: ScenarioConfig) -> BuiltSimulation | None:
+    """Restore from the scenario's rolling snapshot file, if one is valid.
+
+    Returns ``None`` (caller builds from scratch) when snapshotting is off,
+    no file exists, the file is unreadable/corrupt, or it was written for a
+    different configuration.
+    """
+    if config.snapshot_every <= 0 or not config.snapshot_to:
+        return None
+    path = Path(config.snapshot_to)
+    if not path.exists():
+        return None
+    from repro.snapshot import read_snapshot, restore
+    from repro.snapshot.capture import encode_config
+    from repro.snapshot.codec import canonical_json
+
+    try:
+        snap = read_snapshot(path)
+        if canonical_json(snap.config) != canonical_json(encode_config(config)):
+            return None
+        return restore(snap)
+    except SnapshotError:
+        return None
+
+
 def run_scenario_safe(config: ScenarioConfig) -> RunSummary | FailedRun:
     """:func:`run_scenario`, but failures become :class:`FailedRun` records.
 
@@ -317,9 +362,21 @@ def run_scenario_safe(config: ScenarioConfig) -> RunSummary | FailedRun:
     is captured with its traceback instead of propagating, so one bad
     configuration or simulator bug cannot poison a whole sweep.
     ``KeyboardInterrupt``/``SystemExit`` still propagate.
+
+    When the config carries a snapshot file (``snapshot_every`` > 0 and
+    ``snapshot_to`` set), a valid snapshot left by a previous attempt is
+    resumed from instead of restarting at t=0, and the file is removed once
+    the run completes.
     """
     try:
-        return run_scenario(config)
+        wall_start = time.perf_counter()
+        built = _try_resume(config)
+        if built is None:
+            built = build_scenario(config)
+        summary = run_built(built, wall_start=wall_start)
+        if config.snapshot_every > 0 and config.snapshot_to:
+            Path(config.snapshot_to).unlink(missing_ok=True)
+        return summary
     except Exception as exc:
         return FailedRun(
             scenario=config.name,

@@ -82,6 +82,13 @@ class ScenarioConfig:
     trace_capacity: int = 0
     #: Per-subsystem wall-time profiling; fills ``RunSummary.profile``.
     profile: bool = False
+    # -- checkpointing (see docs/checkpointing.md) --
+    #: Simulated seconds between periodic state snapshots
+    #: (:class:`repro.snapshot.snapshotter.PeriodicSnapshotter`); 0 disables.
+    snapshot_every: float = 0.0
+    #: Where to write the rolling snapshot file (gzip JSON, atomically
+    #: replaced on each snapshot).  ``None`` keeps snapshots in memory only.
+    snapshot_to: str | None = None
 
     def __post_init__(self) -> None:
         if self.mobility not in MOBILITY_KINDS:
@@ -105,6 +112,10 @@ class ScenarioConfig:
         if self.trace_capacity < 0:
             raise ConfigurationError(
                 f"trace_capacity must be >= 0: {self.trace_capacity}"
+            )
+        if self.snapshot_every < 0:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 0: {self.snapshot_every}"
             )
 
     def replace(self, **changes: Any) -> "ScenarioConfig":

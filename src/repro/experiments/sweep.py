@@ -113,6 +113,23 @@ def _run_resilient(
                 # Fresh derived seed per retry: a crash tied to one seed's
                 # event sequence must not fail the grid point forever.
                 cfg = cfg.replace(seed=derive_seed(cfg.seed, "retry", attempt))
+            if (
+                checkpoint is not None
+                and cfg.snapshot_every > 0
+                and cfg.snapshot_to is None
+            ):
+                # Mid-run resume for killed workers: each grid point rolls
+                # its own snapshot file next to the sweep checkpoint, keyed
+                # by config fingerprint.  run_scenario_safe resumes from it
+                # when present and removes it on success.  A retry changes
+                # the seed, so a stale snapshot from the crashed attempt
+                # fails the config match and is rebuilt from scratch.
+                snap_dir = checkpoint.path.parent / (
+                    checkpoint.path.name + ".snap"
+                )
+                cfg = cfg.replace(
+                    snapshot_to=str(snap_dir / f"{keys[i]}.snap.gz")
+                )
             batch.append(cfg)
 
         def write_through(batch_pos: int, result: SweepResult) -> None:

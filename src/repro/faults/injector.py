@@ -74,6 +74,14 @@ class FaultInjector:
         self.counts: dict[str, int] = {}
         #: Node ids selected for churn (fixed for the whole run).
         self.churned_nodes: tuple[int, ...] = ()
+        #: Per-node random phase of the churn duty cycle, keyed by node id.
+        #: Kept so a snapshot restore can replay the exact event times (the
+        #: accumulation loop below produces floats that cannot be recomputed
+        #: from a cycle index without drift).
+        self.churn_phases: dict[int, float] = {}
+        #: Time of the next link flap, recorded even past the horizon so a
+        #: restore with an extended horizon re-arms the consumed draw.
+        self._next_flap_at = float("nan")
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -109,15 +117,27 @@ class FaultInjector:
             return
         chosen = self.rng.choice(n, size=k, replace=False)
         self.churned_nodes = tuple(int(i) for i in sorted(chosen))
-        period = self.plan.churn_off_time + self.plan.churn_on_time
         for node_id in self.churned_nodes:
             # A random phase staggers outages; the duty cycle itself is fixed.
-            t = float(self.rng.uniform(0.0, period))
+            period = self.plan.churn_off_time + self.plan.churn_on_time
+            self.churn_phases[node_id] = float(self.rng.uniform(0.0, period))
+        self._schedule_churn_events(after=float("-inf"))
+
+    def _schedule_churn_events(self, after: float) -> None:
+        """Expand the stored phases into down/up events strictly after *after*.
+
+        Restore replays this loop from the captured phases: the repeated
+        float addition reproduces the original event times bit-exactly, and
+        events at or before the snapshot instant are skipped.
+        """
+        for node_id in self.churned_nodes:
+            t = self.churn_phases[node_id]
             down = True
             while t <= self.sim.end_time:
-                self.sim.schedule_at(
-                    t, self._churn_event, node_id, down, priority=PRIORITY_FAULT
-                )
+                if t > after:
+                    self.sim.schedule_at(
+                        t, self._churn_event, node_id, down, priority=PRIORITY_FAULT
+                    )
                 t += self.plan.churn_off_time if down else self.plan.churn_on_time
                 down = not down
 
@@ -145,10 +165,17 @@ class FaultInjector:
 
     def _schedule_next_flap(self) -> None:
         delay = float(self.rng.exponential(1.0 / self.plan.link_flap_rate))
+        self._next_flap_at = self.sim.now + delay
         if self.sim.now + delay <= self.sim.end_time:
             self.sim.schedule_in(
                 delay, self._flap_event, priority=PRIORITY_FAULT
             )
+
+    def rearm_flap(self) -> None:
+        """Re-schedule the pending flap event (snapshot restore)."""
+        when = self._next_flap_at
+        if when == when and when <= self.sim.end_time:
+            self.sim.schedule_at(when, self._flap_event, priority=PRIORITY_FAULT)
 
     def _flap_event(self) -> None:
         links = sorted(self.world.links)

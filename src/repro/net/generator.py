@@ -80,6 +80,10 @@ class MessageGenerator:
         self.rng = rng
         self.id_prefix = id_prefix
         self.created = 0
+        #: Time of the next generation event, recorded even when it falls
+        #: past the horizon (so a restore with an extended horizon re-arms
+        #: the exact draw this generator already consumed).
+        self._next_at = float("nan")
 
     def start(self) -> None:
         """Arm the first generation event."""
@@ -89,7 +93,14 @@ class MessageGenerator:
         lo, hi = self.spec.interval_range
         gap = float(self.rng.uniform(lo, hi))
         when = self.sim.now + gap
+        self._next_at = when
         if when <= self.sim.end_time:
+            self.sim.schedule_at(when, self._generate)
+
+    def rearm(self) -> None:
+        """Re-schedule the pending generation event (snapshot restore)."""
+        when = self._next_at
+        if when == when and when <= self.sim.end_time:
             self.sim.schedule_at(when, self._generate)
 
     def _generate(self) -> None:

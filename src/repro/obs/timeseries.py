@@ -188,7 +188,10 @@ class TimeSeriesCollector:
         listeners.subscribe("transfer.started", self._on_transfer_started)
         listeners.subscribe("transfer.aborted", self._on_transfer_aborted)
         listeners.subscribe("fault.injected", self._on_fault)
-        sim.schedule_every(self.interval, self._sample, priority=PRIORITY_REPORT)
+        sim.schedule_every(
+            self.interval, self._sample, priority=PRIORITY_REPORT,
+            name="obs.sample",
+        )
 
     # -- event handlers ----------------------------------------------------
 

@@ -25,7 +25,9 @@ class BufferReport:
 
     def subscribe(self, sim: Simulator) -> None:
         """Register the recurring sampling event."""
-        sim.schedule_every(self.sample_interval, self._sample, sim)
+        sim.schedule_every(
+            self.sample_interval, self._sample, sim, name="report.buffer"
+        )
 
     def _sample(self, sim: Simulator) -> None:
         occ = np.array([node.buffer.occupancy() for node in self.nodes])

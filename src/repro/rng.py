@@ -68,6 +68,33 @@ class RngFactory:
         for seq in self._root.spawn(n):
             yield RngFactory(seq)
 
+    # -- snapshot support --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Capture every spawned stream's bit-generator state.
+
+        The returned structure is JSON-serializable (PCG64 exposes its state
+        as a nested dict of ints/strings) and is consumed by
+        :meth:`restore_state` and :mod:`repro.snapshot`.
+        """
+        return {
+            "streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._spawned.items()
+            }
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore stream states captured by :meth:`state_dict`.
+
+        Streams are (re)created by name — :meth:`stream` derives them purely
+        from (root seed, name) — then their bit-generator state is overwritten
+        so subsequent draws continue exactly where the capture left off.
+        Spawned streams not present in *state* are left untouched.
+        """
+        for name, bg_state in state["streams"].items():
+            self.stream(name).bit_generator.state = bg_state
+
 
 def _fnv1a(data: bytes) -> int:
     """64-bit FNV-1a hash (stable across platforms and Python versions)."""

@@ -1,0 +1,37 @@
+"""Deterministic simulation checkpointing (see docs/checkpointing.md).
+
+``save``/``restore`` round-trip the *complete* simulator state — clock,
+event cursors, RNG streams, mobility, buffers, routing and policy state,
+collectors, fault cursors and in-flight transfers — such that a restored
+run continues byte-identically to the uninterrupted original.  ``fork``
+branches what-if runs off a snapshot (new seed and/or extended horizon).
+
+The on-disk format (gzip JSON + checksum, written atomically) lives in
+:mod:`repro.snapshot.codec`; periodic in-run capture in
+:mod:`repro.snapshot.snapshotter`.
+"""
+
+from repro.errors import SnapshotError
+from repro.snapshot.capture import encode_config, save
+from repro.snapshot.codec import (
+    SCHEMA_VERSION,
+    Snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.snapshot.restore import decode_config, fork, restore
+from repro.snapshot.snapshotter import PeriodicSnapshotter
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PeriodicSnapshotter",
+    "Snapshot",
+    "SnapshotError",
+    "decode_config",
+    "encode_config",
+    "fork",
+    "read_snapshot",
+    "restore",
+    "save",
+    "write_snapshot",
+]

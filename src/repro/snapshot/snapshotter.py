@@ -1,0 +1,69 @@
+"""Periodic in-run snapshotting.
+
+A :class:`PeriodicSnapshotter` rides the event queue at
+:data:`~repro.engine.events.PRIORITY_SNAPSHOT` (after every same-instant
+simulation event) and captures the full simulator state every ``every``
+simulated seconds.  It is **observation-only**: capturing draws no random
+numbers, emits no events and mutates no component, so a run with
+snapshotting enabled is byte-identical to one without.
+
+Each firing keeps the capture in memory (:attr:`latest`) and, when a path
+is configured, writes it to disk atomically — the file is a rolling "last
+known good state" that :func:`repro.experiments.runner.run_scenario_safe`
+and the sweep engine use to resume crashed runs mid-simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.engine.events import PRIORITY_SNAPSHOT
+from repro.snapshot.capture import save
+from repro.snapshot.codec import Snapshot, write_snapshot
+
+__all__ = ["PeriodicSnapshotter"]
+
+
+class PeriodicSnapshotter:
+    """Capture (and optionally persist) simulator state on a fixed cadence."""
+
+    def __init__(
+        self, built: Any, every: float, path: str | Path | None = None
+    ) -> None:
+        if every <= 0:
+            raise ValueError(f"snapshot interval must be positive: {every}")
+        self.built = built
+        self.every = float(every)
+        self.path = None if path is None else Path(path)
+        #: Most recent capture (None until the first firing).
+        self.latest: Snapshot | None = None
+        #: Absolute time of the next scheduled capture (NaN once the cadence
+        #: has run past the horizon).  Captured into snapshots so a restored
+        #: run keeps the same cadence.
+        self._next_at = float("nan")
+
+    def start(self) -> None:
+        """Arm the first capture ``every`` seconds from now."""
+        self.rearm(self.built.sim.now + self.every)
+
+    def rearm(self, next_at: float) -> None:
+        """(Re-)schedule the next capture at *next_at* (restore path).
+
+        NaN, or a time past the horizon, parks the cadence.
+        """
+        sim = self.built.sim
+        if math.isnan(next_at) or next_at > sim.end_time:
+            self._next_at = float("nan")
+            return
+        self._next_at = float(next_at)
+        sim.schedule_at(next_at, self._fire, priority=PRIORITY_SNAPSHOT)
+
+    def _fire(self) -> None:
+        # Arm the next event BEFORE capturing so the snapshot records the
+        # follow-up cadence, not the firing that produced it.
+        self.rearm(self.built.sim.now + self.every)
+        self.latest = save(self.built)
+        if self.path is not None:
+            write_snapshot(self.latest, self.path)

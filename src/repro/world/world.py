@@ -63,7 +63,8 @@ class World:
         self.mobility.initialize(rng)
         self.positions = self.mobility.advance(0.0)
         self.sim.schedule_every(
-            self.tick, self.update, priority=PRIORITY_WORLD, start=self.sim.now
+            self.tick, self.update, priority=PRIORITY_WORLD, start=self.sim.now,
+            name="world.update",
         )
 
     # -- the tick ----------------------------------------------------------
@@ -86,7 +87,10 @@ class World:
                 }
 
         with timed(profiler, "links"):
-            for i, j in self.links - new_links:
+            # Sorted so teardown order is a function of the pair ids alone,
+            # never of set memory layout — keeps snapshot/restore runs
+            # byte-identical to uninterrupted ones (link.up already sorts).
+            for i, j in sorted(self.links - new_links):
                 self._link_down(self.nodes[i], self.nodes[j])
             for i, j in sorted(new_links - self.links):
                 self._link_up(self.nodes[i], self.nodes[j])
@@ -148,7 +152,7 @@ class World:
         if node_id in self.down_nodes:
             return
         self.down_nodes.add(node_id)
-        for i, j in [pair for pair in self.links if node_id in pair]:
+        for i, j in sorted(pair for pair in self.links if node_id in pair):
             self.links.discard((i, j))
             self._link_down(self.nodes[i], self.nodes[j])
 

@@ -86,6 +86,38 @@ class TestPersistence:
         assert ckpt.completed("k1") is not None
         assert ckpt.completed("k2") is None
 
+    def test_torn_line_with_valid_json_but_bad_shape_is_ignored(self, tmp_path):
+        # A crash can also tear a line into a *shorter valid JSON document*
+        # (e.g. the data object closed early); from_record then raises
+        # TypeError, which the loader must treat like any other torn line.
+        path = tmp_path / "ckpt.jsonl"
+        SweepCheckpoint(path).record("k1", run_scenario(tiny()))
+        with open(path, "a") as fh:
+            fh.write('{"key": "k2", "kind": "summary", "data": {}}\n')
+            fh.write('{"key": "k3", "kind": "wat", "data": {}}\n')
+        ckpt = SweepCheckpoint(path)
+        assert len(ckpt) == 1
+        assert ckpt.completed("k1") is not None
+        assert ckpt.completed("k2") is None
+
+    def test_record_repairs_a_torn_tail_before_appending(self, tmp_path):
+        # Hand-truncate the final line (no trailing newline), then append:
+        # the new record must land on its own line, not be glued onto the
+        # torn fragment (which would lose both records on reload).
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = SweepCheckpoint(path)
+        summary = run_scenario(tiny())
+        ckpt.record("k1", summary)
+        ckpt.record("k2", summary)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-10])  # tear the k2 line mid-write
+        survivor = SweepCheckpoint(path)
+        survivor.record("k3", summary)
+        reloaded = SweepCheckpoint(path)
+        assert reloaded.completed("k1") is not None  # first line intact
+        assert reloaded.completed("k2") is None  # torn, quarantined
+        assert reloaded.completed("k3") is not None  # appended cleanly
+
 
 class TestResumedSweeps:
     def test_resume_reuses_results_identically(self, tmp_path):

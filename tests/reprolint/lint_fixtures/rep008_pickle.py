@@ -1,0 +1,23 @@
+"""REP008 fixture: pickle/marshal of simulator state outside repro.snapshot.
+
+Deliberate violations — linted only from tests, under virtual paths.
+"""
+
+import marshal
+import pickle  # noqa: the import itself is the violation
+from pickle import dumps
+
+
+def checkpoint(sim, path):
+    blob = pickle.dumps(sim)  # call violation (memory-layout serialization)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+
+def checkpoint_marshal(state):
+    return marshal.dumps(state)  # call violation
+
+
+def indirect(state):
+    return dumps(state)  # bare name from `from pickle import dumps`: the
+    # ImportFrom line is flagged; the call itself is invisible by design.

@@ -203,6 +203,37 @@ def test_rep007_getattr_string_access_is_invisible():
     assert lint_source(src, "tests/test_errors.py", codes=["REP007"]) == []
 
 
+# -- REP008: pickled simulator state -----------------------------------------
+
+
+def test_rep008_flags_pickle_and_marshal_in_src():
+    out = lint_source(
+        fixture("rep008_pickle.py"), "src/repro/experiments/bad.py",
+        codes=["REP008"],
+    )
+    # 3 import-form violations + 2 attribute-call violations.
+    assert codes(out) == ["REP008"] * 5
+    messages = " ".join(v.message for v in out)
+    assert "repro.snapshot" in messages
+    assert "pickle" in messages
+    assert "marshal" in messages
+
+
+def test_rep008_allows_snapshot_package_its_own_encoding():
+    out = lint_source(
+        fixture("rep008_pickle.py"), "src/repro/snapshot/codec.py",
+        codes=["REP008"],
+    )
+    assert out == []
+
+
+def test_rep008_scoped_to_src():
+    out = lint_source(
+        fixture("rep008_pickle.py"), "tests/test_bad.py", codes=["REP008"]
+    )
+    assert out == []
+
+
 # -- the clean fixture passes everything -------------------------------------
 
 

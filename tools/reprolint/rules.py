@@ -554,6 +554,61 @@ class Rep007DeprecatedAlias(Rule):
                 )
 
 
+# -- REP008 ------------------------------------------------------------------
+
+
+class Rep008PickledState(Rule):
+    """Simulator state must be snapshotted via ``repro.snapshot``, not pickled.
+
+    ``pickle``/``marshal`` payloads are not a stable format: they embed class
+    import paths and memory layout, break across refactors and Python
+    versions, silently capture unpicklable members as garbage, and carry no
+    schema version or checksum — the opposite of what a reproducible
+    checkpoint needs (and ``pickle.load`` on an untrusted file executes
+    arbitrary code).  The sanctioned path is :mod:`repro.snapshot`, which
+    serializes state to versioned, checksummed, JSON-safe structures;
+    only that package may choose its own encoding.
+    """
+
+    code = "REP008"
+    title = "pickle/marshal of simulator state outside repro.snapshot"
+
+    _BANNED = {"pickle", "cPickle", "marshal"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_src or ctx.path.startswith("src/repro/snapshot/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in self._BANNED:
+                        yield self.violation(
+                            ctx, node,
+                            f"`import {alias.name}` in simulation code; "
+                            "serialize state via repro.snapshot, not "
+                            f"{root}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in self._BANNED:
+                    yield self.violation(
+                        ctx, node,
+                        f"`from {node.module} import ...` in simulation "
+                        "code; serialize state via repro.snapshot, not "
+                        f"{root}",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) >= 2 and chain[0] in self._BANNED:
+                    yield self.violation(
+                        ctx, node,
+                        f"{chain[0]}.{chain[-1]}() serializes by memory "
+                        "layout, not schema; use repro.snapshot "
+                        "save/restore instead",
+                    )
+
+
 #: Rule classes in code order; the runner instantiates fresh per invocation.
 ALL_RULES: tuple[type[Rule], ...] = (
     Rep001AmbientRng,
@@ -563,4 +618,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     Rep005PolicyRegistry,
     Rep006SwallowedException,
     Rep007DeprecatedAlias,
+    Rep008PickledState,
 )
