@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke obs-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint sanitize-smoke obs-smoke chaos-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static layer: repo-specific AST lint (REP001..REP008, see
+# Static layer: repo-specific AST lint (REP001..REP009, see
 # docs/static_analysis.md) plus mypy on the core packages when available
 # (mypy is a CI dependency, not a runtime one).
 lint:
@@ -33,6 +33,13 @@ sanitize-smoke:
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy sdsrp --reduced \
 		--obs-out obs-metrics.json --trace obs-trace.jsonl --profile
+
+# Chaos layer (docs/chaos.md): a short seeded fuzzing campaign over random
+# fault schedules with the sanitizer armed and all oracle families checked.
+# Fixed seed so the smoke leg is deterministic; the nightly CI job explores
+# fresh seeds.  Exits non-zero (and shrinks a reproducer) on any finding.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.chaos --iterations 25 --seed 1 --budget-seconds 60
 
 # Byte-identical replay suite (run twice, like CI, to catch cross-run
 # state leaks in the collectors themselves).

@@ -1,0 +1,71 @@
+"""Chaos harness: fuzz the simulator's correctness envelope.
+
+The paper's claims only matter while the simulator stays *correct* under
+buffer pressure and disrupted connectivity — exactly the regimes the SDSRP
+experiments live in.  This package closes the loop on the last four PRs'
+ingredients (fault injection, the runtime sanitizer, byte-exact
+observability, deterministic snapshots) by actively *searching* for
+configurations that break them instead of waiting for a sweep to trip over
+one:
+
+* :mod:`repro.chaos.space` — seeded sampling of hostile scenario +
+  fault-schedule combinations (churn bursts, flap storms, corruption
+  spikes, near-zero buffers, TTL edge values) across every router, policy
+  and mobility kind;
+* :mod:`repro.chaos.oracles` / :mod:`repro.chaos.runner` — each case runs
+  with the sanitizer armed and is judged by three oracle families:
+  invariant oracles (no :class:`~repro.errors.InvariantViolation`, token
+  conservation, delivered ≤ created), metamorphic oracles (a zero-fault
+  chaos run is byte-identical to the plain run; delivery ratio must not
+  improve when the buffer shrinks at fixed seed) and replay oracles (every
+  run — and especially every failure — re-executes byte-identically from
+  its recorded seed);
+* :mod:`repro.chaos.shrink` — delta-debugs a failing case down to a
+  minimal reproducer (fewer fault events, fewer nodes, shorter horizon);
+* :mod:`repro.chaos.bisect` — uses :mod:`repro.snapshot` to bracket the
+  first violating tick / first divergent tick without re-running the whole
+  case each probe;
+* :mod:`repro.chaos.corpus` — emits self-contained reproducer files
+  (``chaos/corpus/*.json``) with a ready-to-run pytest snippet and the
+  trace tail, and replays committed entries forever;
+* :mod:`repro.chaos.fuzzer` / :mod:`repro.chaos.cli` — the fuzz loop and the
+  ``repro chaos`` command (``--iterations/--seed/--corpus/--budget-seconds``).
+
+See docs/chaos.md for the triage runbook.
+"""
+
+from repro.chaos.corpus import load_corpus, replay_entry, write_entry
+from repro.chaos.fuzzer import FuzzReport, fuzz
+from repro.chaos.oracles import (
+    ORACLE_BUFFER_MONOTONE,
+    ORACLE_CRASH,
+    ORACLE_INVARIANT,
+    ORACLE_REPLAY,
+    ORACLE_SUMMARY,
+    ORACLE_ZERO_FAULT,
+    OracleFailure,
+)
+from repro.chaos.runner import CaseResult, case_digest, run_case
+from repro.chaos.shrink import shrink
+from repro.chaos.space import ChaosSpace, sample_case
+
+__all__ = [
+    "ChaosSpace",
+    "CaseResult",
+    "FuzzReport",
+    "ORACLE_BUFFER_MONOTONE",
+    "ORACLE_CRASH",
+    "ORACLE_INVARIANT",
+    "ORACLE_REPLAY",
+    "ORACLE_SUMMARY",
+    "ORACLE_ZERO_FAULT",
+    "OracleFailure",
+    "case_digest",
+    "fuzz",
+    "load_corpus",
+    "replay_entry",
+    "run_case",
+    "sample_case",
+    "shrink",
+    "write_entry",
+]

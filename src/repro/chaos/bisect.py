@@ -1,0 +1,169 @@
+"""Snapshot-accelerated localization of failures and divergences.
+
+Two probes, both built on :mod:`repro.snapshot` and the simulator's
+``run(until=...)`` slice execution:
+
+* :func:`locate_violation` — for invariant failures.  Re-runs the case
+  once, capturing periodic in-memory snapshots; when the sanitizer fires it
+  restores the last snapshot *before* the violation and replays only that
+  window to confirm the failure reproduces from mid-run state.  The result
+  pins the violation to a ``[checkpoint, violation_time]`` bracket and
+  proves the checkpoint itself is a valid reproduction start — triage can
+  iterate on a slice instead of the whole run.
+* :func:`bisect_divergence` — for replay/metamorphic failures where two
+  supposedly-identical runs drift apart.  Runs both legs with snapshots at
+  the same instants, compares state digests checkpoint by checkpoint, then
+  restores the bracketing pair and steps both legs in single ticks until
+  the first tick whose digests differ.  Cost: two full runs plus one
+  bracket window, instead of O(log n) full runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.engine.events import PRIORITY_SNAPSHOT
+from repro.errors import InvariantViolation
+from repro.experiments.runner import build_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.snapshot import Snapshot, restore, save
+from repro.snapshot.codec import canonical_json
+
+__all__ = ["ViolationBracket", "bisect_divergence", "locate_violation"]
+
+
+def state_digest(snapshot: Snapshot) -> str:
+    """SHA-256 over the canonical JSON of a snapshot's state payload."""
+    return hashlib.sha256(
+        canonical_json(snapshot.state).encode("utf-8")
+    ).hexdigest()
+
+
+def _run_with_snapshots(
+    config: ScenarioConfig, times: list[float]
+) -> tuple[list[Snapshot], InvariantViolation | None]:
+    """One run of *config* capturing in-memory snapshots at *times*.
+
+    Returns the snapshots taken before the run ended (a violation stops
+    the run and with it the remaining captures) and the violation, if any.
+    """
+    built = build_scenario(config)
+    captured: list[Snapshot] = []
+    for t in times:
+        built.sim.schedule_at(
+            t,
+            lambda: captured.append(save(built)),
+            priority=PRIORITY_SNAPSHOT,
+        )
+    try:
+        built.sim.run()
+    except InvariantViolation as exc:
+        return captured, exc
+    return captured, None
+
+
+@dataclass
+class ViolationBracket:
+    """Where an invariant violation lives, to one checkpoint window."""
+
+    invariant: str
+    violation_time: float
+    #: Last snapshot instant before the violation (``None`` when it fired
+    #: before the first checkpoint).
+    checkpoint_time: float | None
+    #: Replaying from the checkpoint reproduced the same violation.
+    confirmed_from_checkpoint: bool
+
+
+def locate_violation(
+    config: ScenarioConfig, *, checkpoints: int = 8
+) -> ViolationBracket | None:
+    """Bracket the first invariant violation of *config* (see module doc).
+
+    Returns ``None`` when the run completes cleanly.
+    """
+    step = config.sim_time / (checkpoints + 1)
+    times = [step * (i + 1) for i in range(checkpoints)]
+    snapshots, violation = _run_with_snapshots(config, times)
+    if violation is None:
+        return None
+    t_violation = violation.time if violation.time is not None else float("nan")
+    before = [s for s in snapshots if float(s.state["t"]) < t_violation]
+    if not before:
+        return ViolationBracket(
+            invariant=violation.invariant,
+            violation_time=t_violation,
+            checkpoint_time=None,
+            confirmed_from_checkpoint=False,
+        )
+    last = before[-1]
+    confirmed = False
+    try:
+        resumed = restore(last)
+        resumed.sim.run()
+    except InvariantViolation as again:
+        confirmed = (
+            again.invariant == violation.invariant
+            and again.time == violation.time
+        )
+    return ViolationBracket(
+        invariant=violation.invariant,
+        violation_time=t_violation,
+        checkpoint_time=float(last.state["t"]),
+        confirmed_from_checkpoint=confirmed,
+    )
+
+
+def bisect_divergence(
+    config_a: ScenarioConfig,
+    config_b: ScenarioConfig,
+    *,
+    checkpoints: int = 8,
+) -> float | None:
+    """First simulation time at which two runs' states differ.
+
+    The configs must share a horizon (typically they are the same config,
+    or a zero-fault pair).  Returns ``None`` when every checkpoint and
+    every tick of the final bracket agree — i.e. the runs are state-
+    identical at the probed resolution.
+    """
+    horizon = min(config_a.sim_time, config_b.sim_time)
+    step = horizon / (checkpoints + 1)
+    times = [step * (i + 1) for i in range(checkpoints)]
+    snaps_a, _ = _run_with_snapshots(config_a, times)
+    snaps_b, _ = _run_with_snapshots(config_b, times)
+
+    first_diff = None
+    for i, (sa, sb) in enumerate(zip(snaps_a, snaps_b)):
+        if state_digest(sa) != state_digest(sb):
+            first_diff = i
+            break
+    if first_diff is None:
+        if len(snaps_a) != len(snaps_b):
+            # One leg died early: diverged somewhere past the shared prefix.
+            shared = min(len(snaps_a), len(snaps_b))
+            return times[shared] if shared < len(times) else horizon
+        return None
+    if first_diff == 0:
+        lo = 0.0
+        resumed_a = build_scenario(config_a)
+        resumed_b = build_scenario(config_b)
+    else:
+        lo = times[first_diff - 1]
+        resumed_a = restore(snaps_a[first_diff - 1])
+        resumed_b = restore(snaps_b[first_diff - 1])
+
+    # Step the bracket window in single ticks, comparing state digests.
+    tick = max(config_a.tick, 1e-9)
+    t = lo
+    while t < times[first_diff]:
+        t = min(t + tick, times[first_diff])
+        try:
+            resumed_a.sim.run(until=t)
+            resumed_b.sim.run(until=t)
+        except InvariantViolation:
+            return t
+        if state_digest(save(resumed_a)) != state_digest(save(resumed_b)):
+            return t
+    return times[first_diff]

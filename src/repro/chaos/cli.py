@@ -1,0 +1,132 @@
+"""Command-line interface: ``repro-chaos`` / ``repro-experiments chaos``.
+
+Typical invocations::
+
+    repro-chaos --iterations 200 --seed 7 --corpus chaos/corpus
+    repro-chaos --iterations 25 --seed 1 --budget-seconds 60   # smoke
+    REPRO_CHAOS_SEED_OFFSET=$(date +%Y%m%d) repro-chaos \
+        --iterations 2000 --budget-seconds 1800 --corpus chaos/corpus
+
+Exit status 0 means every oracle held on every case; 1 means findings
+were recorded (and, with ``--corpus``, written as reproducer files).
+With the same seed, space and iteration count a completed campaign's
+``--json`` output is byte-identical across re-runs — that property is
+itself checked in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.chaos.fuzzer import fuzz
+from repro.chaos.space import ChaosSpace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description=(
+            "Fuzz randomized scenario + fault-schedule combinations against "
+            "the invariant, metamorphic and replay oracles "
+            "(see docs/chaos.md)."
+        ),
+    )
+    parser.add_argument("--iterations", type=int, default=50, metavar="N",
+                        help="cases to generate (default 50)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign base seed; case i is a pure function "
+                             "of (seed, i)")
+    parser.add_argument("--seed-offset", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_CHAOS_SEED_OFFSET", "0")),
+                        metavar="K",
+                        help="added to --seed (nightly CI passes a "
+                             "date-derived value via REPRO_CHAOS_SEED_OFFSET "
+                             "so every night explores fresh cases while each "
+                             "night stays reproducible)")
+    parser.add_argument("--corpus", type=str, default=None, metavar="DIR",
+                        help="write reproducer files for findings here "
+                             "(chaos/corpus to commit them)")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        metavar="S",
+                        help="stop sampling new cases after S wall seconds")
+    parser.add_argument("--json", type=str, default=None, metavar="FILE",
+                        help="dump the campaign report as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debug minimization of findings")
+    parser.add_argument("--shrink-budget", type=int, default=64, metavar="N",
+                        help="max candidate runs per shrink (default 64)")
+    parser.add_argument("--metamorphic-every", type=int, default=5,
+                        metavar="K",
+                        help="run the expensive metamorphic oracles on every "
+                             "K-th clean case (0 disables; default 5)")
+    parser.add_argument("--routers", nargs="+", default=None,
+                        help="restrict the search space to these routers")
+    parser.add_argument("--policies", nargs="+", default=None,
+                        help="restrict the search space to these policies")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    space = ChaosSpace()
+    if args.routers:
+        space = ChaosSpace(routers=tuple(args.routers))
+    if args.policies:
+        space = ChaosSpace(
+            routers=space.routers, policies=tuple(args.policies)
+        )
+    seed = args.seed + args.seed_offset
+
+    report = fuzz(
+        args.iterations,
+        seed,
+        corpus_dir=args.corpus,
+        budget_seconds=args.budget_seconds,
+        space=space,
+        shrink_failures=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        metamorphic_every=args.metamorphic_every,
+        log=None if args.quiet else print,
+    )
+
+    checks = ", ".join(
+        f"{name}={count}" for name, count in sorted(report.checks.items())
+    )
+    print(
+        f"chaos: {report.iterations_run}/{report.iterations_requested} "
+        f"iterations (seed {seed}), oracle checks: {checks or 'none'}"
+    )
+    if report.findings:
+        print(f"{len(report.findings)} finding(s):")
+        for finding in report.findings:
+            failure = finding.failure
+            where = finding.corpus_path or "not recorded (no --corpus)"
+            print(
+                f"  iter {finding.iteration}: {failure.oracle}"
+                f"/{failure.invariant} -> {where}"
+            )
+    else:
+        print("all oracles held")
+
+    if args.json:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}")
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Delta-debug a failing chaos case down to a minimal reproducer.
+
+Greedy fixpoint over four reduction passes, each validated by re-running
+the candidate and requiring the *same* failure
+(:meth:`~repro.chaos.oracles.OracleFailure.matches` — same oracle, same
+invariant; shrinking into a different bug would mislabel the reproducer):
+
+1. **fault events** — ddmin-style chunk removal over the scripted
+   :class:`~repro.faults.plan.FaultEvent` list;
+2. **rate faults** — zero each of churn/flap/corruption individually;
+3. **fleet size** — halve ``n_nodes`` toward 2, dropping scripted events
+   that target removed nodes;
+4. **horizon** — shorten ``sim_time`` toward just past the recorded
+   violation time, dropping events past the new horizon and clamping the
+   churn duty cycle to keep the plan valid.
+
+Every candidate run is a full scenario execution, so the pass order puts
+the biggest cost reducers (nodes, horizon) *after* the event passes: once
+the schedule is small, the expensive passes probe fewer, cheaper runs.
+The ``budget`` parameter caps total candidate executions — shrinking is
+best-effort, a smaller-but-not-minimal reproducer is still a reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chaos.oracles import OracleFailure
+from repro.chaos.runner import run_case
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.plan import (
+    EVENT_NODE_DOWN,
+    EVENT_NODE_UP,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = ["shrink", "shrink_stats"]
+
+_NODE_KINDS = (EVENT_NODE_DOWN, EVENT_NODE_UP)
+
+#: Floor for the shortened horizon (seconds); below this the world barely
+#: ticks and reproducers stop being readable.
+_MIN_SIM_TIME = 50.0
+
+
+class _Shrinker:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        failure: OracleFailure,
+        check: Callable[[ScenarioConfig], OracleFailure | None],
+        budget: int,
+    ) -> None:
+        self.config = config
+        self.failure = failure
+        self.check = check
+        self.budget = budget
+        self.attempts = 0
+
+    def reproduces(self, candidate: ScenarioConfig) -> bool:
+        if self.attempts >= self.budget:
+            return False
+        self.attempts += 1
+        try:
+            observed = self.check(candidate)
+        except ConfigurationError:
+            # A reduction can make the config invalid (e.g. duty cycle vs a
+            # shortened horizon); an invalid candidate is simply not a
+            # reproduction.
+            return False
+        return self.failure.matches(observed)
+
+    def accept_if_reproduces(self, candidate: ScenarioConfig) -> bool:
+        if self.reproduces(candidate):
+            self.config = candidate
+            return True
+        return False
+
+    # -- passes ------------------------------------------------------------
+
+    def _with_events(self, events: tuple[FaultEvent, ...]) -> ScenarioConfig:
+        assert self.config.faults is not None
+        return self.config.replace(
+            faults=self.config.faults.replace(events=events)
+        )
+
+    def pass_events(self) -> bool:
+        """ddmin over the scripted event list."""
+        plan = self.config.faults
+        if plan is None or not plan.events:
+            return False
+        improved = False
+        granularity = 2
+        while len(self.config.faults.events) > 0:
+            events = list(self.config.faults.events)
+            n = len(events)
+            chunk = max(1, n // granularity)
+            removed_any = False
+            start = 0
+            while start < len(events):
+                candidate_events = tuple(
+                    events[:start] + events[start + chunk:]
+                )
+                if len(candidate_events) == len(events):
+                    break
+                if self.accept_if_reproduces(
+                    self._with_events(candidate_events)
+                ):
+                    events = list(candidate_events)
+                    removed_any = improved = True
+                else:
+                    start += chunk
+            if removed_any:
+                granularity = 2
+            elif chunk <= 1:
+                break
+            else:
+                granularity *= 2
+            if self.attempts >= self.budget:
+                break
+        return improved
+
+    def pass_rates(self) -> bool:
+        """Zero each rate-based fault family individually."""
+        plan = self.config.faults
+        if plan is None:
+            return False
+        improved = False
+        for field, zeroed in (
+            ("churn_fraction", 0.0),
+            ("link_flap_rate", 0.0),
+            ("transfer_fault_prob", 0.0),
+        ):
+            plan = self.config.faults
+            if getattr(plan, field) == zeroed:
+                continue
+            candidate = self.config.replace(
+                faults=plan.replace(**{field: zeroed})
+            )
+            improved |= self.accept_if_reproduces(candidate)
+        # A fully-disabled plan can be dropped outright.
+        plan = self.config.faults
+        if plan is not None and not plan.enabled:
+            self.config = self.config.replace(faults=None)
+        return improved
+
+    def _drop_invalid_events(
+        self, plan: FaultPlan, n_nodes: int, horizon: float
+    ) -> FaultPlan:
+        events = tuple(
+            e for e in plan.events
+            if e.time <= horizon
+            and not (e.kind in _NODE_KINDS and e.node >= n_nodes)
+        )
+        return plan.replace(events=events)
+
+    def pass_nodes(self) -> bool:
+        """Halve the fleet toward 2 nodes."""
+        improved = False
+        while self.config.n_nodes > 2:
+            target = max(2, self.config.n_nodes // 2)
+            if target == self.config.n_nodes:
+                break
+            plan = self.config.faults
+            if plan is not None:
+                plan = self._drop_invalid_events(
+                    plan, target, self.config.sim_time
+                )
+            candidate = self.config.replace(n_nodes=target, faults=plan)
+            if not self.accept_if_reproduces(candidate):
+                break
+            improved = True
+        return improved
+
+    def pass_horizon(self) -> bool:
+        """Halve the horizon, not below the recorded violation time."""
+        improved = False
+        floor = _MIN_SIM_TIME
+        if self.failure.violation_time is not None:
+            # Keep one world tick of slack past the violation.
+            floor = max(floor, self.failure.violation_time + self.config.tick)
+        while self.config.sim_time / 2.0 >= floor:
+            target = self.config.sim_time / 2.0
+            plan = self.config.faults
+            if plan is not None:
+                plan = self._drop_invalid_events(
+                    plan, self.config.n_nodes, target
+                )
+                if plan.churn_fraction > 0:
+                    plan = plan.replace(
+                        churn_off_time=min(plan.churn_off_time, target),
+                        churn_on_time=min(plan.churn_on_time, target),
+                    )
+            candidate = self.config.replace(sim_time=target, faults=plan)
+            if not self.accept_if_reproduces(candidate):
+                break
+            improved = True
+        return improved
+
+    def pass_copies(self) -> bool:
+        """Halve the spray budget toward a single copy."""
+        improved = False
+        while self.config.initial_copies > 1:
+            target = max(1, self.config.initial_copies // 2)
+            if target == self.config.initial_copies:
+                break
+            if not self.accept_if_reproduces(
+                self.config.replace(initial_copies=target)
+            ):
+                break
+            improved = True
+        return improved
+
+    def run(self) -> ScenarioConfig:
+        while self.attempts < self.budget:
+            improved = self.pass_events()
+            improved |= self.pass_rates()
+            improved |= self.pass_nodes()
+            improved |= self.pass_horizon()
+            improved |= self.pass_copies()
+            if not improved:
+                break
+        return self.config
+
+
+def _default_check(config: ScenarioConfig) -> OracleFailure | None:
+    return run_case(config).failure
+
+
+def shrink(
+    config: ScenarioConfig,
+    failure: OracleFailure,
+    *,
+    check: Callable[[ScenarioConfig], OracleFailure | None] | None = None,
+    budget: int = 64,
+) -> tuple[ScenarioConfig, int]:
+    """Minimize *config* while preserving *failure*.
+
+    Returns ``(minimal_config, candidate_runs_spent)``.  *check* defaults
+    to a plain :func:`~repro.chaos.runner.run_case`; the mutation tests
+    substitute a check that runs under their patched simulator.
+    """
+    shrinker = _Shrinker(config, failure, check or _default_check, budget)
+    minimal = shrinker.run()
+    return minimal, shrinker.attempts
+
+
+def shrink_stats(config: ScenarioConfig) -> dict[str, float | int]:
+    """Size fingerprint of a (shrunk) case for reports and tests."""
+    plan = config.faults
+    return {
+        "n_nodes": config.n_nodes,
+        "sim_time": config.sim_time,
+        "fault_events": 0 if plan is None else len(plan.events),
+        "initial_copies": config.initial_copies,
+    }

@@ -250,10 +250,26 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(fig, help=f"{fig} metric sweeps")
         _add_sweep_args(p)
 
+    sub.add_parser(
+        "chaos",
+        help="fuzz fault schedules against the correctness oracles "
+             "(see docs/chaos.md; flags are repro-chaos's own)",
+        add_help=False,
+    )
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        # The chaos harness owns its flag set; delegate wholesale so
+        # `repro-experiments chaos --iterations 200` and `repro-chaos
+        # --iterations 200` are the same command.
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)

@@ -15,6 +15,7 @@ Thin, deterministic glue between scenario configs and the process pool:
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Sequence
 
 from repro.experiments.checkpoint import (
@@ -26,7 +27,37 @@ from repro.experiments.runner import run_scenario, run_scenario_safe
 from repro.experiments.scenario import ScenarioConfig
 from repro.parallel.pool import parallel_map
 from repro.reports.summary import FailedRun, RunSummary
-from repro.rng import derive_seed
+from repro.rng import RngFactory, derive_seed
+
+#: Backoff shape for retry rounds: base * 2^(round-1) seconds, capped.
+BACKOFF_BASE = 0.5
+BACKOFF_CAP = 30.0
+
+
+def backoff_delays(
+    seed: int,
+    attempts: int,
+    *,
+    base: float = BACKOFF_BASE,
+    cap: float = BACKOFF_CAP,
+) -> list[float]:
+    """Exponential backoff with equal jitter, fully determined by *seed*.
+
+    Delay for retry round ``k`` (1-based) is drawn from
+    ``[w/2, w]`` where ``w = min(cap, base * 2**(k-1))`` — the classic
+    equal-jitter scheme, except the jitter comes from a dedicated stream of
+    a :class:`~repro.rng.RngFactory` seeded with *seed*, never from
+    wall-clock or ambient randomness.  Two sweeps over the same grid
+    therefore back off on an identical schedule (and a test can assert the
+    exact sequence), while different sweeps still decorrelate their retry
+    bursts against a shared machine.
+    """
+    stream = RngFactory(seed).stream("sweep.backoff")
+    delays = []
+    for k in range(1, attempts + 1):
+        window = min(cap, base * (2.0 ** (k - 1)))
+        delays.append(window * (0.5 + 0.5 * float(stream.random())))
+    return delays
 
 
 def replicate(config: ScenarioConfig, n: int) -> list[ScenarioConfig]:
@@ -45,6 +76,7 @@ def run_many(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | None = None,
+    backoff_base: float = BACKOFF_BASE,
 ) -> list[SweepResult]:
     """Run every config; results are in input order.
 
@@ -58,7 +90,11 @@ def run_many(
 
     * ``retries`` re-runs failed items up to that many extra times, each
       attempt with a fresh seed derived from the original (a pathological
-      seed must not fail the grid point forever);
+      seed must not fail the grid point forever), after a seeded
+      exponential-with-jitter backoff (:func:`backoff_delays`; transient
+      resource exhaustion — OOM-killed workers, a saturated disk — needs
+      breathing room, but the pause must stay deterministic per seed;
+      ``backoff_base=0`` disables the sleep);
     * ``checkpoint`` appends each finished item to a JSONL file keyed by
       config fingerprint; re-running with the same path skips configs whose
       summaries are already recorded (``--resume`` in the CLI).
@@ -72,6 +108,7 @@ def run_many(
         retries=retries,
         timeout=timeout,
         checkpoint=SweepCheckpoint(checkpoint) if checkpoint else None,
+        backoff_base=backoff_base,
     )
 
 
@@ -93,8 +130,16 @@ def _run_resilient(
     retries: int,
     timeout: float | None,
     checkpoint: SweepCheckpoint | None,
+    backoff_base: float = BACKOFF_BASE,
 ) -> list[SweepResult]:
     keys = [config_fingerprint(c) for c in configs]
+    # One backoff schedule per sweep, seeded from the grid itself so the
+    # pause pattern replays exactly (and differs between unrelated sweeps).
+    backoff = backoff_delays(
+        derive_seed(configs[0].seed if configs else 0, "sweep.backoff"),
+        retries,
+        base=backoff_base,
+    )
     results: dict[int, SweepResult] = {}
     if checkpoint is not None:
         for i, key in enumerate(keys):
@@ -106,6 +151,8 @@ def _run_resilient(
     for attempt in range(retries + 1):
         if not pending:
             break
+        if attempt > 0 and backoff[attempt - 1] > 0:
+            time.sleep(backoff[attempt - 1])
         batch = []
         for i in pending:
             cfg = configs[i]

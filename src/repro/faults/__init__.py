@@ -20,6 +20,8 @@ identical outages, flaps and truncations.
 """
 
 from repro.faults.injector import FAULT_KINDS, FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import EVENT_KINDS, FaultEvent, FaultPlan
 
-__all__ = ["FAULT_KINDS", "FaultInjector", "FaultPlan"]
+__all__ = [
+    "EVENT_KINDS", "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan",
+]

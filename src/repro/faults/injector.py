@@ -10,7 +10,10 @@ The injector layers on top of a world (:class:`~repro.world.world.World` or
   connectivity, before message logic);
 * link flaps are a Poisson process over the *current* link set;
 * transfer faults hook the manager's completion path via
-  :attr:`~repro.net.transfer.TransferManager.fault_model`.
+  :attr:`~repro.net.transfer.TransferManager.fault_model`;
+* scripted :class:`~repro.faults.plan.FaultEvent` records are scheduled at
+  their exact times with no RNG involvement (the chaos harness fuzzes and
+  shrinks these).
 
 Every injected fault is emitted on the ``fault.injected`` topic as
 ``(kind, now)`` so :class:`~repro.reports.metrics.MetricsCollector` can
@@ -27,7 +30,14 @@ import numpy as np
 
 from repro.engine.events import PRIORITY_FAULT
 from repro.errors import FaultInjectionError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    EVENT_LINK_FLAP,
+    EVENT_NODE_DOWN,
+    EVENT_NODE_UP,
+    EVENT_TRANSFER_FAULT,
+    FaultEvent,
+    FaultPlan,
+)
 from repro.net.outcomes import DROP_FAULT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -82,27 +92,36 @@ class FaultInjector:
         #: Time of the next link flap, recorded even past the horizon so a
         #: restore with an extended horizon re-arms the consumed draw.
         self._next_flap_at = float("nan")
+        #: Scripted transfer-fault times, sorted, plus a consumed cursor so a
+        #: snapshot restore knows which were already spent.
+        self._scripted_transfer_times: tuple[float, ...] = tuple(sorted(
+            e.time for e in plan.events if e.kind == EVENT_TRANSFER_FAULT
+        ))
+        self._scripted_transfer_consumed = 0
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Derive the fault schedule and register all hooks.  Idempotence is
-        deliberately *not* provided: a second start would double-inject."""
+        """Validate the plan against the scenario, derive the fault schedule
+        and register all hooks.  Idempotence is deliberately *not* provided:
+        a second start would double-inject."""
         if self._started:
             raise FaultInjectionError("fault injector already started")
         self._started = True
+        self.plan.validate_for(self.sim.end_time, len(self.world.nodes))
         if self.plan.churn_fraction > 0:
             self._schedule_churn()
         if self.plan.link_flap_rate > 0:
             self._schedule_next_flap()
-        if self.plan.transfer_fault_prob > 0:
+        if self.plan.transfer_fault_prob > 0 or self._scripted_transfer_times:
             manager = self.world.transfer_manager
             if manager.fault_model is not None:
                 raise FaultInjectionError(
                     "transfer manager already has a fault model attached"
                 )
             manager.fault_model = self
+        self._schedule_scripted(after=float("-inf"))
 
     def _emit(self, kind: str) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
@@ -161,6 +180,48 @@ class FaultInjector:
             if not node.buffer.is_pinned(message.msg_id):
                 node.router.drop_message(message, DROP_FAULT)
 
+    # -- scripted events -----------------------------------------------------
+
+    def _schedule_scripted(self, after: float) -> None:
+        """Schedule the plan's :class:`FaultEvent` records strictly after
+        *after* (snapshot restore passes the capture instant, exactly like
+        :meth:`_schedule_churn_events`).
+
+        Transfer-fault events are *not* scheduled here: they fire through the
+        :meth:`transfer_fails` hook when a transfer completes, tracked by the
+        consumed cursor instead of the event queue.
+        """
+        for index, event in enumerate(self.plan.events):
+            if event.kind == EVENT_TRANSFER_FAULT:
+                continue
+            if event.time > after and event.time <= self.sim.end_time:
+                self.sim.schedule_at(
+                    event.time,
+                    self._scripted_event,
+                    index,
+                    priority=PRIORITY_FAULT,
+                )
+
+    def _scripted_event(self, index: int) -> None:
+        event = self.plan.events[index]
+        if event.kind == EVENT_NODE_DOWN:
+            self.world.set_node_down(event.node)
+            self._emit(KIND_NODE_DOWN)
+            if self.plan.churn_wipe_buffer:
+                self._wipe_buffer(event.node)
+        elif event.kind == EVENT_NODE_UP:
+            self.world.set_node_up(event.node)
+            self._emit(KIND_NODE_UP)
+        elif event.kind == EVENT_LINK_FLAP:
+            # Deterministic pick: the event's index field selects a link from
+            # the sorted current link set.  No RNG draw, so scripted flaps
+            # leave the fault stream untouched (replay/shrink stability).
+            links = sorted(self.world.links)
+            if links:
+                i, j = links[event.node % len(links)]
+                if self.world.force_link_down(i, j):
+                    self._emit(KIND_LINK_FLAP)
+
     # -- link flaps ----------------------------------------------------------
 
     def _schedule_next_flap(self) -> None:
@@ -188,7 +249,24 @@ class FaultInjector:
     # -- transfer faults (TransferManager.fault_model protocol) --------------
 
     def transfer_fails(self, transfer: "Transfer") -> bool:
-        """Decide whether *transfer* was truncated on the air."""
+        """Decide whether *transfer* was truncated on the air.
+
+        Scripted transfer faults are consumed first: the earliest unconsumed
+        scripted time at or before ``sim.now`` truncates this transfer.  The
+        probabilistic model only draws from the RNG when its probability is
+        non-zero, so a plan carrying scripted events alone never perturbs the
+        fault stream.
+        """
+        if (
+            self._scripted_transfer_consumed < len(self._scripted_transfer_times)
+            and self._scripted_transfer_times[self._scripted_transfer_consumed]
+            <= self.sim.now
+        ):
+            self._scripted_transfer_consumed += 1
+            self._emit(KIND_TRANSFER_FAULT)
+            return True
+        if self.plan.transfer_fault_prob <= 0:
+            return False
         if self.rng.random() >= self.plan.transfer_fault_prob:
             return False
         self._emit(KIND_TRANSFER_FAULT)

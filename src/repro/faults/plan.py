@@ -2,19 +2,97 @@
 
 A :class:`FaultPlan` travels inside a
 :class:`~repro.experiments.scenario.ScenarioConfig` to sweep workers, so it
-must stay a plain frozen dataclass.  The plan only declares *rates and
-shapes*; the concrete fault schedule is derived deterministically by the
+must stay a plain frozen dataclass.  The plan declares *rates and shapes*
+(churn duty cycles, flap intensity, corruption probability) whose concrete
+schedule is derived deterministically by the
 :class:`~repro.faults.injector.FaultInjector` from the scenario's ``faults``
-RNG stream.
+RNG stream — plus, optionally, an explicit list of :class:`FaultEvent`
+records pinning individual faults to exact simulation times.  Scripted
+events are what the chaos harness (:mod:`repro.chaos`) fuzzes and shrinks:
+they need no RNG at all, so a reproducer file replays the identical schedule
+forever.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
+
+#: Scripted fault kinds (also the ``fault.injected`` event vocabulary for
+#: the corresponding injected faults; see :mod:`repro.faults.injector`).
+EVENT_NODE_DOWN = "node_down"
+EVENT_NODE_UP = "node_up"
+EVENT_LINK_FLAP = "link_flap"
+EVENT_TRANSFER_FAULT = "transfer_fault"
+EVENT_KINDS = (
+    EVENT_NODE_DOWN, EVENT_NODE_UP, EVENT_LINK_FLAP, EVENT_TRANSFER_FAULT,
+)
+
+#: Kinds whose ``node`` field addresses a concrete node id.
+_NODE_KINDS = (EVENT_NODE_DOWN, EVENT_NODE_UP)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault pinned to an exact simulation time.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) the fault applies at.
+    kind:
+        One of :data:`EVENT_KINDS`.  ``node_down``/``node_up`` take the
+        target node offline / back online (a down event wipes the buffer
+        when the owning plan sets ``churn_wipe_buffer``).  ``link_flap``
+        forces down one currently-up link, selected deterministically as
+        ``sorted(links)[node % len(links)]`` — no RNG draw, so a shrunk
+        reproducer replays bit-exactly.  ``transfer_fault`` truncates the
+        next transfer completing at or after *time*.
+    node:
+        Target node id for node events; selection index for ``link_flap``;
+        ignored for ``transfer_fault``.
+    """
+
+    time: float
+    kind: str
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ConfigurationError(
+                f"fault event time must be finite and >= 0: {self.time}"
+            )
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+        if self.node < 0:
+            raise ConfigurationError(
+                f"fault event node/index must be >= 0: {self.node}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            node=int(data.get("node", 0)),
+        )
+
+
+def _require_finite(name: str, value: float) -> None:
+    # NaN slips through ordering comparisons (every `nan < x` is False), so
+    # an explicit finiteness gate must run before any range check.
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite: {value}")
 
 
 @dataclass(frozen=True)
@@ -39,6 +117,11 @@ class FaultPlan:
     transfer_fault_prob:
         Probability that a completed transmission was truncated on the air
         and must be discarded by the receiver (0 disables transfer faults).
+    events:
+        Explicit scripted faults (:class:`FaultEvent`), applied *in addition
+        to* the rate-based model above.  Scripted events consume no RNG, so
+        a plan carrying only events is bit-exact under replay regardless of
+        what else the run does.
     """
 
     churn_fraction: float = 0.0
@@ -47,8 +130,14 @@ class FaultPlan:
     churn_wipe_buffer: bool = True
     link_flap_rate: float = 0.0
     transfer_fault_prob: float = 0.0
+    events: tuple[FaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
+        _require_finite("churn_fraction", self.churn_fraction)
+        _require_finite("churn_off_time", self.churn_off_time)
+        _require_finite("churn_on_time", self.churn_on_time)
+        _require_finite("link_flap_rate", self.link_flap_rate)
+        _require_finite("transfer_fault_prob", self.transfer_fault_prob)
         if not 0.0 <= self.churn_fraction <= 1.0:
             raise ConfigurationError(
                 f"churn_fraction must be in [0, 1]: {self.churn_fraction}"
@@ -66,6 +155,15 @@ class FaultPlan:
             raise ConfigurationError(
                 f"transfer_fault_prob must be in [0, 1]: {self.transfer_fault_prob}"
             )
+        if not isinstance(self.events, tuple):
+            # Accept any sequence at the call site but store a hashable,
+            # immutable tuple (the plan rides inside frozen ScenarioConfigs).
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(
+                    f"events must contain FaultEvent records, got {event!r}"
+                )
 
     @property
     def enabled(self) -> bool:
@@ -74,7 +172,38 @@ class FaultPlan:
             self.churn_fraction > 0
             or self.link_flap_rate > 0
             or self.transfer_fault_prob > 0
+            or bool(self.events)
         )
+
+    def validate_for(self, horizon: float, n_nodes: int) -> None:
+        """Reject plans whose schedule cannot fit the scenario.
+
+        Called by :meth:`repro.faults.injector.FaultInjector.start` at build
+        time.  A churn down-window longer than the horizon means every
+        churned node that goes down never comes back — almost always a
+        mis-scaled duty cycle, and previously it silently warped the
+        schedule into "permanent outage".  Likewise a scripted event beyond
+        the horizon would never fire, and a node target outside the fleet
+        would crash mid-run instead of at build time.
+        """
+        if self.churn_fraction > 0:
+            if self.churn_off_time > horizon or self.churn_on_time > horizon:
+                raise ConfigurationError(
+                    f"churn duty cycle ({self.churn_off_time}s off / "
+                    f"{self.churn_on_time}s on) exceeds the {horizon}s "
+                    "horizon; churned nodes would never cycle"
+                )
+        for event in self.events:
+            if event.time > horizon:
+                raise ConfigurationError(
+                    f"scripted {event.kind} at t={event.time} is past the "
+                    f"{horizon}s horizon and would never fire"
+                )
+            if event.kind in _NODE_KINDS and event.node >= n_nodes:
+                raise ConfigurationError(
+                    f"scripted {event.kind} targets node {event.node} but "
+                    f"the fleet has only {n_nodes} nodes"
+                )
 
     def replace(self, **changes: Any) -> "FaultPlan":
         """A copy with *changes* applied (dataclasses.replace wrapper)."""
@@ -87,4 +216,10 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
         """Inverse of :meth:`as_dict`."""
-        return cls(**data)
+        kwargs = dict(data)
+        events = kwargs.get("events") or ()
+        kwargs["events"] = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e)
+            for e in events
+        )
+        return cls(**kwargs)

@@ -405,6 +405,7 @@ def _capture_faults(injector: Any) -> dict[str, Any] | None:
             for node_id, phase in injector.churn_phases.items()
         ],
         "next_flap_at": injector._next_flap_at,
+        "scripted_transfer_consumed": injector._scripted_transfer_consumed,
     }
 
 

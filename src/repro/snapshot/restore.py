@@ -166,6 +166,7 @@ def restore(
     if built.fault_injector is not None and state["faults"] is not None:
         built.fault_injector._schedule_churn_events(after=t)
         built.fault_injector.rearm_flap()
+        built.fault_injector._schedule_scripted(after=t)
     _restore_transfers(built, state["transfers"])
     snap_state = state.get("snapshotter")
     if getattr(built, "snapshotter", None) is not None:
@@ -577,6 +578,11 @@ def _restore_fault_state(injector: Any, data: dict[str, Any] | None) -> None:
         int(i): float(p) for i, p in data["churn_phases"]
     }
     injector._next_flap_at = float(data["next_flap_at"])
+    # Older snapshots predate scripted fault events; they carry none, so a
+    # zero cursor is exact for them.
+    injector._scripted_transfer_consumed = int(
+        data.get("scripted_transfer_consumed", 0)
+    )
 
 
 def _restore_transfers(built: Any, data: dict[str, Any]) -> None:

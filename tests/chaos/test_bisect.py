@@ -1,0 +1,44 @@
+"""Snapshot-accelerated localization: state digests and divergence search."""
+
+from __future__ import annotations
+
+from repro.chaos.bisect import bisect_divergence, locate_violation, state_digest
+from repro.experiments.runner import build_scenario
+from repro.snapshot import save
+from tests.chaos.conftest import tiny_case
+
+
+class TestStateDigest:
+    def test_identical_states_digest_identically(self):
+        built_a = build_scenario(tiny_case())
+        built_b = build_scenario(tiny_case())
+        assert state_digest(save(built_a)) == state_digest(save(built_b))
+
+    def test_different_states_digest_differently(self):
+        built_a = build_scenario(tiny_case())
+        built_b = build_scenario(tiny_case(seed=99))
+        assert state_digest(save(built_a)) != state_digest(save(built_b))
+
+    def test_capture_is_observation_only(self):
+        built = build_scenario(tiny_case())
+        assert state_digest(save(built)) == state_digest(save(built))
+
+
+class TestLocateViolation:
+    def test_clean_run_yields_no_bracket(self):
+        assert locate_violation(tiny_case(), checkpoints=4) is None
+
+
+class TestBisectDivergence:
+    def test_identical_runs_never_diverge(self):
+        config = tiny_case()
+        assert bisect_divergence(config, config, checkpoints=4) is None
+
+    def test_different_seeds_diverge_within_the_first_window(self):
+        config_a = tiny_case()
+        config_b = tiny_case(seed=99)
+        t = bisect_divergence(config_a, config_b, checkpoints=4)
+        assert t is not None
+        # Different seeds differ from the very first tick, so the divergence
+        # must be pinned inside the first checkpoint window.
+        assert 0.0 < t <= config_a.sim_time / 5.0

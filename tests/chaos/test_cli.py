@@ -1,0 +1,148 @@
+"""The chaos CLI: flags, seed offsetting, reporting, delegation."""
+
+from __future__ import annotations
+
+import json
+
+import repro.chaos.cli as cli_mod
+from repro.chaos.cli import build_parser, main
+from repro.chaos.fuzzer import Finding, FuzzReport
+from repro.chaos.oracles import ORACLE_INVARIANT, OracleFailure
+from repro.experiments.cli import main as experiments_main
+from tests.chaos.conftest import tiny_case
+
+
+def stub_fuzz(recorded, findings=()):
+    """A fuzz() stand-in that records its call and returns a fixed report."""
+
+    def fake_fuzz(iterations, seed, **kwargs):
+        recorded.append({"iterations": iterations, "seed": seed, **kwargs})
+        report = FuzzReport(
+            seed=seed,
+            iterations_requested=iterations,
+            iterations_run=iterations,
+            checks={"invariant": iterations},
+        )
+        report.findings = list(findings)
+        return report
+
+    return fake_fuzz
+
+
+def one_finding() -> Finding:
+    return Finding(
+        iteration=2,
+        failure=OracleFailure(
+            oracle=ORACLE_INVARIANT, detail="d", invariant="pin-hygiene"
+        ),
+        config=tiny_case(),
+        original_config=tiny_case(),
+        corpus_path="chaos/corpus/invariant-feedbeef.json",
+    )
+
+
+class TestFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.iterations == 50
+        assert args.seed == 1
+        assert args.seed_offset == 0
+        assert args.corpus is None
+        assert args.budget_seconds is None
+
+    def test_seed_offset_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_SEED_OFFSET", "20260806")
+        args = build_parser().parse_args([])
+        assert args.seed_offset == 20260806
+        # An explicit flag still wins over the environment.
+        args = build_parser().parse_args(["--seed-offset", "3"])
+        assert args.seed_offset == 3
+
+
+class TestMain:
+    def test_clean_campaign_exits_zero(self, monkeypatch, capsys):
+        calls = []
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz(calls))
+        assert main(["--iterations", "7", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles held" in out
+        assert "7/7 iterations (seed 5)" in out
+        assert calls[0]["iterations"] == 7 and calls[0]["seed"] == 5
+
+    def test_findings_exit_nonzero_and_are_listed(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli_mod, "fuzz", stub_fuzz([], findings=[one_finding()])
+        )
+        assert main(["--iterations", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "invariant/pin-hygiene" in out
+        assert "chaos/corpus/invariant-feedbeef.json" in out
+
+    def test_seed_offset_shifts_the_campaign_seed(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz(calls))
+        main(["--seed", "7", "--seed-offset", "100"])
+        assert calls[0]["seed"] == 107
+
+    def test_space_restrictions_are_forwarded(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz(calls))
+        main(["--routers", "snw", "epidemic", "--policies", "fifo"])
+        space = calls[0]["space"]
+        assert space.routers == ("snw", "epidemic")
+        assert space.policies == ("fifo",)
+
+    def test_no_shrink_and_budget_are_forwarded(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz(calls))
+        main(["--no-shrink", "--budget-seconds", "30", "--shrink-budget", "9"])
+        assert calls[0]["shrink_failures"] is False
+        assert calls[0]["budget_seconds"] == 30.0
+        assert calls[0]["shrink_budget"] == 9
+
+    def test_json_report_to_file(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz([]))
+        out = tmp_path / "report.json"
+        main(["--iterations", "2", "--json", str(out)])
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["iterations_run"] == 2
+        assert payload["findings"] == []
+
+    def test_json_report_to_stdout(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz([]))
+        main(["--iterations", "2", "--json", "-"])
+        out = capsys.readouterr().out
+        start = out.index("{")
+        assert json.loads(out[start:])["iterations_requested"] == 2
+
+
+class TestDelegation:
+    def test_experiments_cli_delegates_to_chaos(self, monkeypatch, capsys):
+        calls = []
+        monkeypatch.setattr(cli_mod, "fuzz", stub_fuzz(calls))
+        code = experiments_main(["chaos", "--iterations", "4", "--seed", "9"])
+        assert code == 0
+        assert calls[0] == {
+            "iterations": 4,
+            "seed": 9,
+            "corpus_dir": None,
+            "budget_seconds": None,
+            "space": calls[0]["space"],
+            "shrink_failures": True,
+            "shrink_budget": 64,
+            "metamorphic_every": 5,
+            "log": print,
+        }
+        assert "all oracles held" in capsys.readouterr().out
+
+
+class TestEndToEnd:
+    def test_tiny_real_campaign_holds(self, capsys):
+        # Two real cases through the full stack; slow-ish but the one
+        # place the CLI and fuzzer meet without stubs.
+        code = main([
+            "--iterations", "2", "--seed", "5", "--metamorphic-every", "0",
+            "--routers", "snw", "--policies", "fifo", "--quiet",
+        ])
+        assert code == 0
+        assert "all oracles held" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Replay every committed corpus entry: fixed bugs must stay fixed.
+
+A corpus entry records a config that once violated an oracle.  After the
+underlying bug is fixed the entry is expected NOT to reproduce — that is
+the regression direction this test locks in.  An entry that still
+reproduces marks an open bug and must not be committed without an xfail
+marker here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.corpus import load_corpus, replay_reproduces
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "chaos" / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[p.name for p, _ in ENTRIES]
+)
+def test_committed_reproducer_stays_fixed(path, entry):
+    assert not replay_reproduces(entry), (
+        f"{path.name} reproduces again: the bug it recorded has regressed "
+        f"({entry['failure']['oracle']}/{entry['failure']['invariant']})"
+    )
+
+
+def test_corpus_directory_exists():
+    # The directory is committed (with a README) even when empty, so the
+    # nightly job always has a stable --corpus target.
+    assert CORPUS_DIR.is_dir()

@@ -1,0 +1,119 @@
+"""Oracle vocabulary: failure matching, serialization, summary checks."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.chaos.oracles import (
+    MONOTONE_MIN_CREATED,
+    MONOTONE_SLACK,
+    ORACLE_BUFFER_MONOTONE,
+    ORACLE_INVARIANT,
+    ORACLE_SUMMARY,
+    OracleFailure,
+    check_buffer_monotone,
+    check_summary,
+)
+
+
+def summary(**overrides) -> SimpleNamespace:
+    base = dict(
+        created=40, delivered=10, relayed=25, contacts=100,
+        drops={"buffer": 3}, faults={"node_down": 2},
+        delivery_ratio=0.25, buffer_bytes=4000,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestMatching:
+    def failure(self, **kw) -> OracleFailure:
+        base = dict(
+            oracle=ORACLE_INVARIANT, detail="d", invariant="copy-conservation"
+        )
+        base.update(kw)
+        return OracleFailure(**base)
+
+    def test_same_oracle_and_invariant_match(self):
+        assert self.failure().matches(self.failure(detail="other text"))
+
+    def test_none_never_matches(self):
+        assert not self.failure().matches(None)
+
+    def test_different_oracle_or_invariant_do_not_match(self):
+        assert not self.failure().matches(self.failure(oracle=ORACLE_SUMMARY))
+        assert not self.failure().matches(
+            self.failure(invariant="pin-hygiene")
+        )
+
+
+class TestSerialization:
+    def test_as_dict_from_dict_roundtrip(self):
+        failure = OracleFailure(
+            oracle=ORACLE_INVARIANT,
+            detail="tokens doubled",
+            invariant="copy-conservation",
+            violation_time=42.0,
+            node_id=3,
+            msg_id="M9",
+            trace_tail=[{"event": "transfer.commit", "t": 41.0}],
+        )
+        assert OracleFailure.from_dict(failure.as_dict()) == failure
+
+    def test_minimal_dict_decodes(self):
+        got = OracleFailure.from_dict({"oracle": "crash", "detail": "boom"})
+        assert got.invariant is None
+        assert got.trace_tail == []
+
+
+class TestCheckSummary:
+    def test_clean_summary_passes(self):
+        assert check_summary(summary()) is None
+
+    def test_delivered_above_created_fires(self):
+        failure = check_summary(summary(delivered=41))
+        assert failure is not None
+        assert failure.oracle == ORACLE_SUMMARY
+        assert failure.invariant == "delivered-le-created"
+
+    def test_negative_counters_fire(self):
+        failure = check_summary(summary(relayed=-1))
+        assert failure is not None and failure.invariant == "non-negative-counters"
+        failure = check_summary(summary(drops={"buffer": -2}))
+        assert failure is not None and "drop_buffer" in failure.detail
+        failure = check_summary(summary(faults={"node_down": -1}))
+        assert failure is not None and "fault_node_down" in failure.detail
+
+    def test_delivery_ratio_out_of_range_fires(self):
+        failure = check_summary(summary(delivery_ratio=1.5, delivered=40))
+        assert failure is not None
+        assert failure.invariant == "delivery-ratio-range"
+
+
+class TestBufferMonotone:
+    def test_flagrant_reversal_fires(self):
+        small = summary(delivery_ratio=0.9, buffer_bytes=2000)
+        large = summary(delivery_ratio=0.3)
+        failure = check_buffer_monotone(small, large)
+        assert failure is not None
+        assert failure.oracle == ORACLE_BUFFER_MONOTONE
+
+    def test_within_slack_passes(self):
+        small = summary(
+            delivery_ratio=0.29 + MONOTONE_SLACK, buffer_bytes=2000
+        )
+        large = summary(delivery_ratio=0.3)
+        assert check_buffer_monotone(small, large) is None
+
+    def test_expected_direction_passes(self):
+        small = summary(delivery_ratio=0.1, buffer_bytes=2000)
+        large = summary(delivery_ratio=0.5)
+        assert check_buffer_monotone(small, large) is None
+
+    def test_small_samples_are_ignored(self):
+        small = summary(
+            delivery_ratio=1.0, created=MONOTONE_MIN_CREATED - 1,
+            buffer_bytes=2000,
+        )
+        large = summary(delivery_ratio=0.0)
+        assert check_buffer_monotone(small, large) is None

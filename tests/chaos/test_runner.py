@@ -1,0 +1,84 @@
+"""Case runner: oracle translation, digests, stable summary projection."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.chaos.runner as runner_mod
+from repro.chaos.oracles import ORACLE_CRASH, ORACLE_INVARIANT
+from repro.chaos.runner import case_digest, run_case, stable_summary
+from repro.errors import InvariantViolation
+from tests.chaos.conftest import tiny_case
+
+
+class TestRunCase:
+    def test_clean_case_returns_summary_and_trace(self):
+        result = run_case(tiny_case())
+        assert result.ok
+        assert result.failure is None
+        assert result.summary is not None
+        assert result.trace_jsonl
+
+    def test_invariant_violation_becomes_invariant_oracle(self, monkeypatch):
+        exc = InvariantViolation(
+            "copy-conservation", "tokens doubled",
+            node_id=2, msg_id="M3", time=17.0,
+        )
+        exc.trace_tail = [{"event": "transfer.commit"}]
+
+        def boom(built):
+            raise exc
+
+        monkeypatch.setattr(runner_mod, "run_built", boom)
+        result = run_case(tiny_case())
+        assert not result.ok
+        failure = result.failure
+        assert failure.oracle == ORACLE_INVARIANT
+        assert failure.invariant == "copy-conservation"
+        assert failure.violation_time == 17.0
+        assert failure.node_id == 2 and failure.msg_id == "M3"
+        assert failure.trace_tail == [{"event": "transfer.commit"}]
+
+    def test_any_other_crash_becomes_crash_oracle(self, monkeypatch):
+        def boom(built):
+            raise ValueError("unexpected")
+
+        monkeypatch.setattr(runner_mod, "run_built", boom)
+        result = run_case(tiny_case())
+        assert result.failure.oracle == ORACLE_CRASH
+        assert result.failure.invariant == "ValueError"
+        assert "unexpected" in result.failure.detail
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        def interrupted(built):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod, "run_built", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_case(tiny_case())
+
+
+class TestDigests:
+    def test_same_config_digests_identically(self):
+        config = tiny_case()
+        assert case_digest(config) == case_digest(config)
+
+    def test_different_seeds_digest_differently(self):
+        assert case_digest(tiny_case()) != case_digest(tiny_case(seed=12))
+
+    def test_failing_case_has_no_digest(self, monkeypatch):
+        def boom(built):
+            raise InvariantViolation("buffer-accounting", "off by one")
+
+        monkeypatch.setattr(runner_mod, "run_built", boom)
+        assert case_digest(tiny_case()) is None
+
+
+class TestStableSummary:
+    def test_wall_clock_fields_are_projected_out(self):
+        result = run_case(tiny_case())
+        stable = stable_summary(result.summary)
+        assert "wall_seconds" not in stable
+        assert "profile" not in stable
+        assert not any(k.startswith("profile_") for k in stable)
+        assert stable["created"] == result.summary.created

@@ -1,0 +1,175 @@
+"""Delta-debug shrinking, exercised with synthetic oracles (no sim runs).
+
+Each test wires a ``check`` function that decides reproduction from the
+candidate config alone, so the passes' logic — event ddmin, rate zeroing,
+fleet/horizon/copies halving, budget discipline — is asserted exactly and
+instantly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.oracles import ORACLE_INVARIANT, OracleFailure
+from repro.chaos.shrink import shrink, shrink_stats
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    EVENT_LINK_FLAP,
+    EVENT_NODE_DOWN,
+    EVENT_TRANSFER_FAULT,
+    FaultEvent,
+    FaultPlan,
+)
+from tests.chaos.conftest import tiny_case
+
+FAILURE = OracleFailure(
+    oracle=ORACLE_INVARIANT, detail="d", invariant="copy-conservation",
+    violation_time=60.0,
+)
+
+#: The one event the synthetic bug depends on.
+CULPRIT = FaultEvent(time=40.0, kind=EVENT_NODE_DOWN, node=0)
+
+
+def noisy_plan() -> FaultPlan:
+    """The culprit buried in scripted noise plus all three rate families."""
+    noise = [
+        FaultEvent(time=10.0 * (i + 1), kind=EVENT_LINK_FLAP, node=i)
+        for i in range(5)
+    ] + [
+        FaultEvent(time=15.0 * (i + 1), kind=EVENT_TRANSFER_FAULT)
+        for i in range(4)
+    ]
+    events = tuple(sorted([CULPRIT, *noise], key=lambda e: (e.time, e.kind)))
+    return FaultPlan(
+        churn_fraction=0.3,
+        churn_off_time=50.0,
+        churn_on_time=50.0,
+        link_flap_rate=0.01,
+        transfer_fault_prob=0.1,
+        events=events,
+    )
+
+
+def base_config():
+    return tiny_case(n_nodes=16, sim_time=400.0, faults=noisy_plan())
+
+
+def culprit_check(config) -> OracleFailure | None:
+    """Reproduces iff the culprit event survives in the candidate."""
+    plan = config.faults
+    if plan is not None and CULPRIT in plan.events:
+        return FAILURE
+    return None
+
+
+class TestEventPass:
+    def test_shrinks_to_the_single_culprit_event(self):
+        minimal, attempts = shrink(
+            base_config(), FAILURE, check=culprit_check, budget=200
+        )
+        assert minimal.faults is not None
+        assert CULPRIT in minimal.faults.events
+        assert len(minimal.faults.events) == 1
+        assert attempts > 0
+
+    def test_rate_families_are_zeroed_when_irrelevant(self):
+        minimal, _ = shrink(
+            base_config(), FAILURE, check=culprit_check, budget=200
+        )
+        plan = minimal.faults
+        assert plan.churn_fraction == 0.0
+        assert plan.link_flap_rate == 0.0
+        assert plan.transfer_fault_prob == 0.0
+
+    def test_fleet_horizon_and_copies_are_halved(self):
+        minimal, _ = shrink(
+            base_config(), FAILURE, check=culprit_check, budget=200
+        )
+        stats = shrink_stats(minimal)
+        assert stats["n_nodes"] == 2
+        # Horizon floor: just past violation_time=60, never below 50.
+        assert 60.0 < stats["sim_time"] <= 100.0
+        assert stats["initial_copies"] == 1
+
+
+class TestDiscipline:
+    def test_budget_caps_candidate_runs(self):
+        calls = []
+
+        def counting_check(config):
+            calls.append(1)
+            return culprit_check(config)
+
+        _, attempts = shrink(
+            base_config(), FAILURE, check=counting_check, budget=7
+        )
+        assert attempts == len(calls) == 7
+
+    def test_unreproducible_failure_returns_the_original(self):
+        config = base_config()
+        minimal, _ = shrink(
+            config, FAILURE, check=lambda c: None, budget=50
+        )
+        assert minimal == config
+
+    def test_a_different_bug_is_not_accepted(self):
+        # Candidates reproduce a *different* invariant: no reduction counts.
+        other = OracleFailure(
+            oracle=ORACLE_INVARIANT, detail="d", invariant="pin-hygiene"
+        )
+        config = base_config()
+        minimal, _ = shrink(
+            config, FAILURE, check=lambda c: other, budget=50
+        )
+        assert minimal == config
+
+    def test_invalid_candidates_count_as_non_reproductions(self):
+        def fussy_check(config):
+            if config.n_nodes < 16:
+                raise ConfigurationError("candidate went out of range")
+            return FAILURE
+
+        config = base_config()
+        minimal, _ = shrink(config, FAILURE, check=fussy_check, budget=100)
+        # Node reduction always raised, so the fleet must be untouched.
+        assert minimal.n_nodes == 16
+
+    def test_fully_disabled_plan_is_dropped(self):
+        plan = FaultPlan(
+            churn_fraction=0.3, churn_off_time=50.0, churn_on_time=50.0
+        )
+        config = tiny_case(n_nodes=4, sim_time=100.0, faults=plan)
+        # The bug does not depend on faults at all.
+        minimal, _ = shrink(config, FAILURE, check=lambda c: FAILURE, budget=50)
+        assert minimal.faults is None
+
+
+class TestStats:
+    def test_stats_fingerprint(self):
+        config = base_config()
+        stats = shrink_stats(config)
+        assert stats == {
+            "n_nodes": 16,
+            "sim_time": 400.0,
+            "fault_events": 10,
+            "initial_copies": 8,
+        }
+        assert shrink_stats(config.replace(faults=None))["fault_events"] == 0
+
+
+class TestHorizonFloor:
+    @pytest.mark.parametrize("violation_time", [None, 350.0])
+    def test_horizon_never_cuts_off_the_violation(self, violation_time):
+        failure = OracleFailure(
+            oracle=ORACLE_INVARIANT, detail="d", invariant="x",
+            violation_time=violation_time,
+        )
+        config = tiny_case(n_nodes=4, sim_time=400.0)
+        minimal, _ = shrink(
+            config, failure, check=lambda c: failure, budget=50
+        )
+        if violation_time is None:
+            assert minimal.sim_time >= 50.0
+        else:
+            assert minimal.sim_time > violation_time

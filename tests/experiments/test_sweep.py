@@ -61,3 +61,66 @@ class TestSummarize:
             assert math.isnan(got)
         else:
             assert got == s1.overhead_ratio
+
+
+class TestBackoff:
+    def test_delays_are_deterministic_per_seed(self):
+        from repro.experiments.sweep import backoff_delays
+
+        assert backoff_delays(7, 5) == backoff_delays(7, 5)
+        assert backoff_delays(7, 5) != backoff_delays(8, 5)
+
+    def test_equal_jitter_windows_and_cap(self):
+        from repro.experiments.sweep import (
+            BACKOFF_BASE, BACKOFF_CAP, backoff_delays,
+        )
+
+        delays = backoff_delays(3, 10)
+        for k, delay in enumerate(delays, start=1):
+            window = min(BACKOFF_CAP, BACKOFF_BASE * 2 ** (k - 1))
+            assert window / 2 <= delay <= window
+        assert max(delays) <= BACKOFF_CAP
+
+    def test_base_scales_the_schedule(self):
+        from repro.experiments.sweep import backoff_delays
+
+        halved = backoff_delays(3, 4, base=0.25)
+        full = backoff_delays(3, 4, base=0.5)
+        for a, b in zip(halved, full):
+            assert a == b / 2  # same jitter draw, scaled window
+
+    def test_retry_rounds_sleep_the_seeded_schedule(self, monkeypatch):
+        import time as time_module
+
+        from repro.experiments.sweep import backoff_delays
+        from repro.rng import derive_seed
+
+        slept = []
+        monkeypatch.setattr(time_module, "sleep", slept.append)
+
+        def broken(**kw):
+            return tiny(
+                mobility="trace", trace_path="/nonexistent/contacts.txt", **kw
+            )
+
+        config = broken(seed=4)
+        run_many([config], workers=1, retries=2, backoff_base=0.001)
+        expected = backoff_delays(
+            derive_seed(config.seed, "sweep.backoff"), 2, base=0.001
+        )
+        assert slept == expected
+
+    def test_zero_base_disables_the_sleep(self, monkeypatch):
+        import time as time_module
+
+        def no_sleep(_seconds):
+            raise AssertionError("backoff_base=0 must not sleep")
+
+        monkeypatch.setattr(time_module, "sleep", no_sleep)
+
+        def broken(**kw):
+            return tiny(
+                mobility="trace", trace_path="/nonexistent/contacts.txt", **kw
+            )
+
+        run_many([broken(seed=4)], workers=1, retries=2, backoff_base=0.0)

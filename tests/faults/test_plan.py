@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.faults import FaultPlan
+from repro.faults import EVENT_KINDS, FaultEvent, FaultPlan
 
 
 class TestValidation:
@@ -33,6 +35,108 @@ class TestValidation:
     def test_rejects_transfer_prob_out_of_range(self, prob):
         with pytest.raises(ConfigurationError):
             FaultPlan(transfer_fault_prob=prob)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "churn_fraction", "churn_off_time", "churn_on_time",
+            "link_flap_rate", "transfer_fault_prob",
+        ],
+    )
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_rates(self, field, value):
+        # NaN slips through ordering comparisons (nan < x is always False),
+        # so the explicit finiteness gate must catch it.
+        with pytest.raises(ConfigurationError, match="finite"):
+            FaultPlan(**{field: value})
+
+    def test_rejects_non_event_entries(self):
+        with pytest.raises(ConfigurationError, match="FaultEvent"):
+            FaultPlan(events=({"time": 1.0, "kind": "node_down"},))
+
+
+class TestFaultEvent:
+    @pytest.mark.parametrize("time", [-1.0, math.nan, math.inf])
+    def test_rejects_bad_times(self, time):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=time, kind="node_down")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultEvent(time=1.0, kind="meteor_strike")
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=1.0, kind="node_down", node=-1)
+
+    @pytest.mark.parametrize("kind", EVENT_KINDS)
+    def test_as_dict_from_dict(self, kind):
+        event = FaultEvent(time=12.5, kind=kind, node=3)
+        assert FaultEvent.from_dict(event.as_dict()) == event
+
+
+class TestValidateFor:
+    def test_accepts_a_plan_that_fits(self):
+        plan = FaultPlan(
+            churn_fraction=0.5, churn_off_time=50.0, churn_on_time=50.0,
+            events=(FaultEvent(time=80.0, kind="node_down", node=3),),
+        )
+        plan.validate_for(horizon=100.0, n_nodes=4)
+
+    @pytest.mark.parametrize(
+        "kw", [{"churn_off_time": 150.0}, {"churn_on_time": 150.0}]
+    )
+    def test_rejects_churn_duty_beyond_horizon(self, kw):
+        plan = FaultPlan(
+            churn_fraction=0.5, churn_off_time=50.0, churn_on_time=50.0
+        ).replace(**kw)
+        with pytest.raises(ConfigurationError, match="duty cycle"):
+            plan.validate_for(horizon=100.0, n_nodes=4)
+
+    def test_long_duty_is_fine_when_churn_is_off(self):
+        FaultPlan(churn_off_time=9999.0).validate_for(
+            horizon=100.0, n_nodes=4
+        )
+
+    def test_rejects_event_past_horizon(self):
+        plan = FaultPlan(events=(FaultEvent(time=101.0, kind="link_flap"),))
+        with pytest.raises(ConfigurationError, match="past the"):
+            plan.validate_for(horizon=100.0, n_nodes=4)
+
+    @pytest.mark.parametrize("kind", ["node_down", "node_up"])
+    def test_rejects_node_event_outside_the_fleet(self, kind):
+        plan = FaultPlan(events=(FaultEvent(time=1.0, kind=kind, node=4),))
+        with pytest.raises(ConfigurationError, match="only 4 nodes"):
+            plan.validate_for(horizon=100.0, n_nodes=4)
+
+    def test_link_flap_index_is_not_a_node_id(self):
+        # The flap event's ``node`` selects from the link set modulo its
+        # size, so any non-negative value is valid regardless of fleet size.
+        plan = FaultPlan(events=(
+            FaultEvent(time=1.0, kind="link_flap", node=999),
+            FaultEvent(time=2.0, kind="transfer_fault", node=999),
+        ))
+        plan.validate_for(horizon=100.0, n_nodes=2)
+
+
+class TestEvents:
+    def test_sequences_are_coerced_to_tuples(self):
+        plan = FaultPlan(events=[FaultEvent(time=1.0, kind="node_down")])
+        assert isinstance(plan.events, tuple)
+
+    def test_events_alone_enable_the_plan(self):
+        assert FaultPlan(
+            events=(FaultEvent(time=1.0, kind="link_flap"),)
+        ).enabled
+
+    def test_event_plan_roundtrips_through_dicts(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=5.0, kind="node_down", node=1),
+            FaultEvent(time=9.0, kind="transfer_fault"),
+        ))
+        decoded = FaultPlan.from_dict(plan.as_dict())
+        assert decoded == plan
+        assert all(isinstance(e, FaultEvent) for e in decoded.events)
 
 
 class TestEnabled:

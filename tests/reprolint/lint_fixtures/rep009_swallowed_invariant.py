@@ -1,0 +1,61 @@
+"""Fixture: handlers that swallow or re-wrap InvariantViolation (REP009)."""
+
+from repro.errors import InvariantViolation, ReproError
+
+
+def bad_direct_swallow() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except InvariantViolation:  # REP009: caught and dropped
+        print("never mind")
+
+
+def bad_broad_swallow() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except Exception as exc:  # REP009: superclass catch, no re-raise
+        print(exc)
+
+
+def bad_tuple_swallow() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except (ValueError, ReproError):  # REP009: tuple hides a superclass
+        pass
+
+
+def bad_bare_swallow() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except:  # noqa: E722  # REP009: bare except
+        print("caught")
+
+
+def bad_rewrap() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except InvariantViolation as exc:  # REP009: re-wrapped, identity lost
+        raise RuntimeError("run failed") from exc
+
+
+def fine_bare_reraise() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except Exception:
+        print("cleanup")
+        raise
+
+
+def fine_named_reraise() -> None:
+    try:
+        raise InvariantViolation("pin-hygiene", "leaked pin")
+    except InvariantViolation as exc:
+        print(exc.invariant)
+        raise exc
+
+
+def fine_narrow_catch() -> None:
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        pass

@@ -234,6 +234,58 @@ def test_rep008_scoped_to_src():
     assert out == []
 
 
+# -- REP009: swallowed InvariantViolation ------------------------------------
+
+
+def test_rep009_flags_swallowing_and_rewrapping():
+    out = lint_source(
+        fixture("rep009_swallowed_invariant.py"), "src/repro/engine/bad.py",
+        codes=["REP009"],
+    )
+    # 4 swallow forms (direct, broad, tuple, bare) + 1 re-wrap.
+    assert codes(out) == ["REP009"] * 5
+    messages = " ".join(v.message for v in out)
+    assert "bare except" in messages
+    assert "InvariantViolation" in messages
+
+
+def test_rep009_flags_exactly_the_marked_handlers():
+    # Every violation points at a line carrying a "# REP009" marker, and
+    # every marker is hit — so the fine_* handlers (re-raise, narrow catch)
+    # all pass.
+    source_lines = fixture("rep009_swallowed_invariant.py").splitlines()
+    marked = {
+        i for i, text in enumerate(source_lines, start=1) if "# REP009" in text
+    }
+    out = lint_source(
+        fixture("rep009_swallowed_invariant.py"), "src/repro/engine/bad.py",
+        codes=["REP009"],
+    )
+    assert {v.line for v in out} == marked
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/chaos/runner.py",
+    "src/repro/chaos/fuzzer.py",
+    "src/repro/experiments/runner.py",
+    "src/repro/experiments/sweep.py",
+    "src/repro/parallel/pool.py",
+])
+def test_rep009_allows_designated_failure_boundaries(path):
+    out = lint_source(
+        fixture("rep009_swallowed_invariant.py"), path, codes=["REP009"]
+    )
+    assert out == []
+
+
+def test_rep009_scoped_to_src_repro():
+    for path in ("tests/chaos/test_x.py", "tools/somewhere.py"):
+        out = lint_source(
+            fixture("rep009_swallowed_invariant.py"), path, codes=["REP009"]
+        )
+        assert out == []
+
+
 # -- the clean fixture passes everything -------------------------------------
 
 

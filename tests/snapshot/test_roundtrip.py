@@ -211,3 +211,58 @@ class TestFork:
         snap, _ = run_with_snapshot(observed())
         with pytest.raises(ConfigurationError, match="n_nodes"):
             fork(snap, overrides={"n_nodes": 3})
+
+
+# -- scripted faults --------------------------------------------------------
+
+
+class TestScriptedFaultRoundtrip:
+    """Scripted fault schedules must survive save/restore bit-exactly.
+
+    The plan mixes events on both sides of the mid-horizon capture: restore
+    must re-arm only the not-yet-fired node/flap events and keep the
+    transfer-fault consumed cursor, or the continuation diverges.
+    """
+
+    def plan(self):
+        from repro.faults.plan import FaultEvent, FaultPlan
+
+        return FaultPlan(events=(
+            FaultEvent(time=50.0, kind="transfer_fault"),
+            FaultEvent(time=100.0, kind="node_down", node=2),
+            FaultEvent(time=200.0, kind="node_up", node=2),
+            FaultEvent(time=300.0, kind="link_flap", node=1),
+            FaultEvent(time=500.0, kind="transfer_fault"),
+            FaultEvent(time=600.0, kind="node_down", node=4),
+            FaultEvent(time=700.0, kind="node_up", node=4),
+            FaultEvent(time=800.0, kind="link_flap", node=0),
+        ))
+
+    def test_restored_run_is_byte_identical(self):
+        snap, baseline = run_with_snapshot(observed(faults=self.plan()))
+        restored = restore(snap)
+        recaptured = save(restored)
+        assert canonical_json(recaptured.state) == canonical_json(snap.state)
+        run_built(restored)
+        assert outputs(restored) == outputs(baseline)
+        # The post-snapshot half of the schedule really fired.
+        assert baseline.fault_injector is not None
+        assert baseline.fault_injector.counts.get("node_down", 0) >= 2
+
+    def test_consumed_transfer_cursor_is_restored(self):
+        snap, baseline = run_with_snapshot(observed(faults=self.plan()))
+        captured = snap.state["faults"]
+        assert captured["scripted_transfer_consumed"] >= 1
+        restored = restore(snap)
+        assert restored.fault_injector is not None
+        assert (
+            restored.fault_injector._scripted_transfer_consumed
+            == captured["scripted_transfer_consumed"]
+        )
+
+    def test_old_snapshot_without_cursor_still_restores(self):
+        snap, _ = run_with_snapshot(observed(faults=self.plan()))
+        # Simulate a snapshot written before the cursor field existed.
+        del snap.state["faults"]["scripted_transfer_consumed"]
+        restored = restore(snap)
+        assert restored.fault_injector._scripted_transfer_consumed == 0

@@ -609,6 +609,98 @@ class Rep008PickledState(Rule):
                     )
 
 
+# -- REP009 ------------------------------------------------------------------
+
+
+class Rep009SwallowedInvariant(Rule):
+    """Invariant violations must propagate to the oracles.
+
+    The runtime sanitizer's :class:`repro.errors.InvariantViolation` is the
+    chaos harness's primary signal: a handler that catches it (directly, or
+    hidden inside ``except Exception`` / a ``ReproError`` superclass / a
+    bare ``except``) and does not re-raise the *same* exception converts a
+    detected simulator bug into a silently-wrong run — the exact failure
+    mode the oracle stack exists to prevent.  Only the designated failure
+    boundaries may absorb broad exceptions: the chaos runner (it *is* the
+    oracle), the sweep engine's crash-safe paths (failures become
+    ``FailedRun`` records) and the worker pool.  Everywhere else in
+    ``src/repro``, either catch something narrower than
+    ``InvariantViolation`` or re-raise it unchanged (bare ``raise`` or
+    ``raise <bound name>``; wrapping it in another exception type hides the
+    invariant from the oracles and is equally flagged).
+    """
+
+    code = "REP009"
+    title = "handler swallows or re-wraps InvariantViolation"
+
+    #: Exception names that catch InvariantViolation (itself or a
+    #: superclass, including the builtins).
+    _BROAD = {
+        "InvariantViolation", "SimulationError", "ReproError",
+        "Exception", "BaseException",
+    }
+    #: Failure boundaries allowed to absorb broad exceptions (they turn
+    #: them into oracle verdicts / FailedRun records by design).
+    _ALLOWED_PREFIXES = ("src/repro/chaos/",)
+    _ALLOWED_FILES = {
+        "src/repro/experiments/runner.py",
+        "src/repro/experiments/sweep.py",
+        "src/repro/parallel/pool.py",
+    }
+
+    def _catches_broadly(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for t in types:
+            chain = _attr_chain(t)
+            if chain and chain[-1] in self._BROAD:
+                return True
+        return False
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(handler):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                return True  # bare `raise`
+            if (
+                bound is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == bound
+            ):
+                return True  # `raise exc` unchanged
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro:
+            return
+        if ctx.path in self._ALLOWED_FILES or ctx.path.startswith(
+            self._ALLOWED_PREFIXES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._catches_broadly(node) and not self._reraises(node):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else ast.unparse(node.type)
+                )
+                yield self.violation(
+                    ctx, node,
+                    f"`except {caught}` swallows InvariantViolation; "
+                    "re-raise it unchanged or catch a narrower type "
+                    "(violations must reach the chaos oracles)",
+                )
+
+
 #: Rule classes in code order; the runner instantiates fresh per invocation.
 ALL_RULES: tuple[type[Rule], ...] = (
     Rep001AmbientRng,
@@ -619,4 +711,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     Rep006SwallowedException,
     Rep007DeprecatedAlias,
     Rep008PickledState,
+    Rep009SwallowedInvariant,
 )
