@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke obs-smoke chaos-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint sanitize-smoke obs-smoke chaos-smoke service-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static layer: repo-specific AST lint (REP001..REP009, see
+# Static layer: repo-specific AST lint (REP001..REP010, see
 # docs/static_analysis.md) plus mypy on the core packages when available
 # (mypy is a CI dependency, not a runtime one).
 lint:
@@ -40,6 +40,12 @@ obs-smoke:
 # fresh seeds.  Exits non-zero (and shrinks a reproducer) on any finding.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.chaos --iterations 25 --seed 1 --budget-seconds 60
+
+# Service layer (docs/service.md): the kill-recovery proof — serve a batch
+# through the real CLI, SIGKILL it mid-run, re-serve against the same root,
+# and assert every job terminal with duplicates served from the cache.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
 
 # Byte-identical replay suite (run twice, like CI, to catch cross-run
 # state leaks in the collectors themselves).

@@ -1,0 +1,97 @@
+"""Service-layer benchmarks: submit→result latency and cache-hit throughput.
+
+Both paths matter operationally: submit→result latency bounds how much the
+service machinery (journal fsyncs, admission, dispatch, settle) adds on
+top of a computation, and cache-hit throughput is the rate the degraded
+mode can serve duplicates at when the pool is gone.  The runs use a stub
+``run_fn`` so the numbers isolate the service overhead, not the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.scenario import ScenarioConfig
+from repro.reports.summary import RunSummary
+from repro.service.api import ScenarioService
+
+
+def _config(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        name="bench-service", n_nodes=4, sim_time=20.0, policy="fifo",
+        router="snw", seed=seed,
+    )
+
+
+def _stub_run(config: ScenarioConfig) -> RunSummary:
+    return RunSummary(
+        scenario=config.name, policy=config.policy, seed=config.seed,
+        sim_time=config.sim_time, initial_copies=config.initial_copies,
+        buffer_bytes=config.buffer_bytes,
+        interval_range=config.interval_range,
+        created=10, delivered=7, relayed=20, delivery_ratio=0.7,
+        average_hopcount=1.5, overhead_ratio=2.0, average_latency=30.0,
+    )
+
+
+SUBMITS = 50
+
+
+@pytest.mark.benchmark(group="service")
+def test_submit_to_result_latency(benchmark, tmp_path, record_figure):
+    """Full fresh-job round trips: journal + queue + dispatch + settle."""
+
+    def work():
+        with ScenarioService(
+            tmp_path / "lat", workers=0, run_fn=_stub_run
+        ) as service:
+            tickets = [
+                service.submit(_config(seed)) for seed in range(SUBMITS)
+            ]
+            assert service.drain()
+            return [service.result(t.job_id) for t in tickets]
+
+    results = run_once(benchmark, work)
+    assert len(results) == SUBMITS
+    assert all(isinstance(r, RunSummary) for r in results)
+    per_job_ms = benchmark.stats["mean"] / SUBMITS * 1e3
+    record_figure(
+        "bench_service_latency",
+        {
+            "submits": SUBMITS,
+            "wall_s": benchmark.stats["mean"],
+            "per_job_ms": per_job_ms,
+        },
+    )
+    print(f"\nsubmit->result: {per_job_ms:.2f} ms/job over {SUBMITS} jobs")
+
+
+@pytest.mark.benchmark(group="service")
+def test_cache_hit_throughput(benchmark, tmp_path, record_figure):
+    """Duplicate submissions against a warmed cache (the degraded path)."""
+    with ScenarioService(
+        tmp_path / "hit", workers=0, run_fn=_stub_run
+    ) as service:
+        warm = service.submit(_config(0))
+        assert service.drain()
+        service.supervisor.mark_dead()  # degraded: pool gone, cache serves
+
+        def work():
+            tickets = [service.submit(_config(0)) for _ in range(SUBMITS)]
+            assert all(t.cached for t in tickets)
+            return tickets
+
+        tickets = run_once(benchmark, work)
+        assert all(t.fingerprint == warm.fingerprint for t in tickets)
+        assert service.stats.degraded_hits >= SUBMITS
+    hits_per_s = SUBMITS / benchmark.stats["mean"]
+    record_figure(
+        "bench_service_cache_hits",
+        {
+            "hits": SUBMITS,
+            "wall_s": benchmark.stats["mean"],
+            "hits_per_s": hits_per_s,
+        },
+    )
+    print(f"\ncache hits: {hits_per_s:.0f} submissions/s (degraded mode)")

@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="K",
                         help="run the expensive metamorphic oracles on every "
                              "K-th clean case (0 disables; default 5)")
+    parser.add_argument("--service", action="store_true",
+                        help="fuzz the scenario service instead of the "
+                             "simulator: hostile submit/crash/corruption "
+                             "sequences against repro.service "
+                             "(see docs/service.md)")
+    parser.add_argument("--service-ops", type=int, default=60, metavar="N",
+                        help="operations per service case (default 60)")
     parser.add_argument("--routers", nargs="+", default=None,
                         help="restrict the search space to these routers")
     parser.add_argument("--policies", nargs="+", default=None,
@@ -75,8 +82,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _main_service(args: argparse.Namespace, seed: int) -> int:
+    from repro.chaos.service_target import run_service_campaign
+
+    report = run_service_campaign(
+        seed, args.iterations, ops_per_case=args.service_ops
+    )
+    print(
+        f"chaos[service]: {report['cases_ok']}/{report['iterations']} "
+        f"cases clean (seed {seed}, {report['ops_per_case']} ops/case)"
+    )
+    for finding in report["findings"]:
+        print(
+            f"  case {finding['case']}: {finding['oracle']} — "
+            f"{finding['detail']}"
+        )
+    if not report["findings"]:
+        print("all service oracles held")
+    if args.json:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}")
+    return 1 if report["findings"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.service:
+        return _main_service(args, args.seed + args.seed_offset)
     space = ChaosSpace()
     if args.routers:
         space = ChaosSpace(routers=tuple(args.routers))

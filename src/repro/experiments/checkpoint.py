@@ -23,6 +23,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Union
 
@@ -53,10 +54,15 @@ class SweepCheckpoint:
     def __init__(self, path: str | os.PathLike[str]) -> None:
         self.path = Path(path)
         self._records: dict[str, SweepResult] = {}
+        #: Replayed lines whose key was already present (retries, or a
+        #: pre-harvest-fix sweep that recomputed items after a pool
+        #: rebuild).  Last write wins; the count makes it visible.
+        self.duplicate_keys = 0
         if self.path.exists():
             self._load()
 
     def _load(self) -> None:
+        duplicates: set[str] = set()
         with open(self.path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -75,7 +81,21 @@ class SweepCheckpoint:
                         continue
                 except (json.JSONDecodeError, KeyError, TypeError):
                     continue  # torn final line from a mid-write crash
+                if key in self._records:
+                    self.duplicate_keys += 1
+                    duplicates.add(key)
                 self._records[key] = record
+        if duplicates:
+            # One warning per load, not per line: a long retry history is
+            # normal, but the operator should know the journal holds more
+            # than one record for some points (the later one is used).
+            warnings.warn(
+                f"sweep checkpoint {self.path} replayed "
+                f"{self.duplicate_keys} duplicate line(s) across "
+                f"{len(duplicates)} fingerprint(s); keeping the last "
+                "record for each",
+                stacklevel=3,
+            )
 
     # -- queries -------------------------------------------------------------
 

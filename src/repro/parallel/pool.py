@@ -158,5 +158,23 @@ def _resilient_map(
             # wait=False: a hung worker must not block the sweep; the pool's
             # processes are reaped when they finish or at interpreter exit.
             pool.shutdown(wait=False, cancel_futures=True)
-        pending = pending[rebuild_from:] if rebuild_from is not None else []
+        if rebuild_from is None:
+            pending = []
+            continue
+        # Harvest what the dying pool already finished.  Work that
+        # completed before the failure point must not be recomputed on the
+        # fresh pool — recomputation is wasted wall-clock and re-runs the
+        # item's side effects (snapshot and checkpoint writes).  Only the
+        # contiguous run after the failure is harvestable: on_result is
+        # documented to fire in input order, so a completed item beyond a
+        # still-unfinished gap cannot settle yet and is resubmitted.
+        tail = pending[rebuild_from:]
+        harvested = 0
+        for j in tail:
+            fut = futures[j]
+            if fut.cancelled() or not fut.done() or fut.exception() is not None:
+                break
+            settle(j, fut.result())
+            harvested += 1
+        pending = tail[harvested:]
     return [results[i] for i in range(len(items))]

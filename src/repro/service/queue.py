@@ -1,0 +1,121 @@
+"""Bounded admission queue: explicit backpressure, deterministic shedding.
+
+The service never buffers unbounded work.  When the queue is full an
+arriving job either
+
+* **displaces** the worst queued job — strictly lower priority, newest
+  admission order among equals — which is *shed* (journaled with a reason
+  and counted, never silently dropped), or
+* is **rejected** with an explicit deterministic ``retry_after`` hint
+  (backpressure: the client owns the retry, the service owns the bound).
+
+Dispatch order is highest priority first, admission order (FIFO) within a
+priority — fully deterministic, no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionDecision", "AdmissionQueue", "SHED_DISPLACED"]
+
+#: Shed-reason vocabulary (docs/chaos.md taxonomy): the only way the
+#: service drops accepted work, always journaled and counted.
+SHED_DISPLACED = "displaced-by-priority"
+
+#: Deterministic backpressure hint: seconds-per-queued-job a rejected
+#: client should wait before retrying.  Scaled by queue depth so pressure
+#: grows with load; a constant, not a measurement, so replays are stable.
+RETRY_AFTER_PER_JOB = 0.5
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of offering one job to the queue."""
+
+    admitted: bool
+    #: Job displaced to make room (shed by the caller), if any.
+    displaced: str | None = None
+    #: Backpressure hint for a rejected submission (seconds).
+    retry_after: float | None = None
+
+
+@dataclass(frozen=True)
+class _Entry:
+    job_id: str
+    priority: int
+    seq: int
+
+    @property
+    def dispatch_key(self) -> tuple[int, int]:
+        """Sort key for dispatch: highest priority, then oldest."""
+        return (-self.priority, self.seq)
+
+    @property
+    def victim_key(self) -> tuple[int, int]:
+        """Sort key for shedding: lowest priority, then newest."""
+        return (self.priority, -self.seq)
+
+
+class AdmissionQueue:
+    """A bounded priority queue over job ids."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        return any(e.job_id == job_id for e in self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def retry_after(self) -> float:
+        """The deterministic backpressure hint at the current depth."""
+        return RETRY_AFTER_PER_JOB * (len(self._entries) + 1)
+
+    def offer(
+        self, job_id: str, *, priority: int = 0, seq: int = 0
+    ) -> AdmissionDecision:
+        """Try to admit one job; full queues shed or reject, never grow."""
+        entry = _Entry(job_id=job_id, priority=priority, seq=seq)
+        if not self.full:
+            self._entries.append(entry)
+            return AdmissionDecision(admitted=True)
+        victim = min(self._entries, key=lambda e: e.victim_key)
+        if priority > victim.priority:
+            self._entries.remove(victim)
+            self._entries.append(entry)
+            return AdmissionDecision(admitted=True, displaced=victim.job_id)
+        return AdmissionDecision(
+            admitted=False, retry_after=self.retry_after()
+        )
+
+    def force(self, job_id: str, *, priority: int = 0, seq: int = 0) -> None:
+        """Enqueue bypassing the bound.
+
+        Only for crash recovery: a requeued job was *already accepted*
+        before the crash, and recovery must never shed accepted work.  The
+        transient overshoot drains through normal dispatch.
+        """
+        self._entries.append(_Entry(job_id=job_id, priority=priority, seq=seq))
+
+    def pop(self) -> str | None:
+        """Remove and return the next job to dispatch, or ``None``."""
+        if not self._entries:
+            return None
+        entry = min(self._entries, key=lambda e: e.dispatch_key)
+        self._entries.remove(entry)
+        return entry.job_id
+
+    def snapshot(self) -> list[str]:
+        """Queued job ids in dispatch order (diagnostics/tests)."""
+        return [
+            e.job_id for e in sorted(self._entries, key=lambda e: e.dispatch_key)
+        ]

@@ -1,0 +1,436 @@
+"""Supervised job execution: worker pool, heartbeats, retries, quarantine.
+
+The supervisor owns a ``spawn``-context process pool (the same start-method
+discipline as :mod:`repro.parallel.pool`) and runs one scenario per worker
+submission.  It is built to keep serving while workers misbehave:
+
+* **worker death** — a :class:`BrokenProcessPool` poisons every in-flight
+  future; the pool is torn down and rebuilt, the affected jobs go through
+  the bounded-retry path;
+* **hangs** — each flight carries a deadline on the supervisor's injected
+  clock (heartbeat detection is a pure function of that clock, so tests
+  drive it deterministically); an overdue flight is abandoned, the pool
+  rebuilt, and the job retried;
+* **bounded retries** — failed attempts are rescheduled after the seeded
+  equal-jitter :func:`repro.experiments.sweep.backoff_delays` (never an
+  ad-hoc sleep — reprolint REP010 enforces this repo-wide).  Retries rerun
+  the *byte-exact same config*: the result cache is keyed by config
+  fingerprint, and mutating the seed on retry would break the
+  same-fingerprint-same-bytes soundness argument (docs/service.md);
+* **poison-job quarantine** — a job that exhausts ``max_attempts`` is
+  failed terminally and written as a self-contained JSON reproducer in the
+  chaos-corpus format (:mod:`repro.chaos.corpus`), so triage starts from
+  the same artifact the fuzzer produces.
+
+``workers=0`` runs jobs inline (serial, deterministic, no processes) —
+the mode benchmarks and most tests use; the retry/backoff machinery is
+identical in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections.abc import Callable
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario_safe
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import backoff_delays
+from repro.parallel.pool import _pool_context
+from repro.reports.summary import FailedRun, RunSummary
+from repro.rng import derive_seed
+
+__all__ = ["JobOutcome", "WorkerSupervisor"]
+
+#: Error type recorded when a flight exceeds its heartbeat deadline.
+ERROR_TIMEOUT = "WorkerTimeout"
+#: Error type recorded when the worker process died under a flight.
+ERROR_WORKER_DEATH = "WorkerDeath"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's terminal verdict from the supervisor."""
+
+    job_id: str
+    result: RunSummary | FailedRun
+    attempts: int
+    #: Path of the quarantine reproducer, when the job was poisoned.
+    quarantine: str = ""
+
+
+@dataclass
+class _Flight:
+    job_id: str
+    config: ScenarioConfig
+    attempts: int  # 1-based attempt number this flight is running
+    future: Future | None = None
+    deadline: float | None = None
+
+
+@dataclass
+class _Retry:
+    job_id: str
+    config: ScenarioConfig
+    attempts: int  # attempts already consumed
+    not_before: float
+
+
+@dataclass
+class SupervisorStats:
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class WorkerSupervisor:
+    """Runs scenario jobs on supervised workers; never raises for a job."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        run_fn: Callable[[ScenarioConfig], RunSummary | FailedRun] | None = None,
+        timeout: float | None = None,
+        max_attempts: int = 2,
+        seed: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        quarantine_dir: str | os.PathLike[str] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {max_attempts}"
+            )
+        self.workers = max(0, int(workers))
+        self._run_fn = run_fn if run_fn is not None else run_scenario_safe
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self._seed = seed
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._quarantine_dir = (
+            Path(quarantine_dir) if quarantine_dir is not None else None
+        )
+        # perf_counter, not time.time: diagnostic/pacing only, REP002-clean.
+        self._clock = clock if clock is not None else time.perf_counter
+        self._pool: ProcessPoolExecutor | None = None
+        self._flights: list[_Flight] = []
+        self._retries: list[_Retry] = []
+        self._ready: list[JobOutcome] = []
+        self._dead = False
+        self.stats = SupervisorStats()
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def inline(self) -> bool:
+        return self.workers == 0
+
+    @property
+    def healthy(self) -> bool:
+        """False once the pool is unrecoverable (degraded mode trigger)."""
+        return not self._dead
+
+    def mark_dead(self) -> None:
+        """Declare the worker pool unrecoverable (tests / chaos campaigns)."""
+        self._dead = True
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context()
+            )
+        return self._pool
+
+    def _rebuild_pool(self) -> None:
+        """Abandon the current pool and resubmit the surviving flights."""
+        self.stats.pool_rebuilds += 1
+        if self._pool is not None:
+            # wait=False: a hung/dying worker must not block the service.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        for flight in self._flights:
+            self._launch(flight)
+
+    def worker_pids(self) -> list[int]:
+        """Live pool worker pids, sorted (deterministic kill target order)."""
+        if self._pool is None:
+            return []
+        return sorted(
+            p.pid for p in self._pool._processes.values() if p.pid is not None
+        )
+
+    def kill_worker(self, index: int = 0) -> int | None:
+        """SIGKILL the *index*-th worker (chaos campaigns, kill tests)."""
+        pids = self.worker_pids()
+        if not pids:
+            return None
+        pid = pids[index % len(pids)]
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- capacity ----------------------------------------------------------
+
+    def has_capacity(self) -> bool:
+        if self._dead:
+            return False
+        if self.inline:
+            return True
+        return len(self._flights) < self.workers
+
+    @property
+    def saturated(self) -> bool:
+        return not self.has_capacity()
+
+    def pending(self) -> int:
+        """Jobs the supervisor still owes an outcome for."""
+        return len(self._flights) + len(self._retries) + len(self._ready)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self, job_id: str, config: ScenarioConfig, *, attempts: int = 0
+    ) -> None:
+        """Start (or restart) a job; its outcome arrives via :meth:`poll`."""
+        if self._dead:
+            raise ConfigurationError(
+                "supervisor is marked dead; cannot accept work"
+            )
+        flight = _Flight(job_id=job_id, config=config, attempts=attempts + 1)
+        if self.inline:
+            self._settle(flight, self._run_inline(config))
+            return
+        self._flights.append(flight)
+        self._launch(flight)
+
+    def _run_inline(self, config: ScenarioConfig) -> RunSummary | FailedRun:
+        result = self._run_fn(config)
+        if not isinstance(result, (RunSummary, FailedRun)):
+            raise ConfigurationError(
+                f"service run_fn returned {type(result).__name__}; expected "
+                "RunSummary or FailedRun"
+            )
+        return result
+
+    def _launch(self, flight: _Flight) -> None:
+        pool = self._ensure_pool()
+        flight.future = pool.submit(self._run_fn, flight.config)
+        flight.deadline = (
+            self._clock() + self.timeout if self.timeout is not None else None
+        )
+
+    # -- harvesting --------------------------------------------------------
+
+    def poll(self) -> list[JobOutcome]:
+        """Settle everything that finished, died, timed out, or is due a
+        retry; returns terminal outcomes in deterministic (submission)
+        order.  Never blocks."""
+        self._promote_retries()
+        if not self.inline:
+            self._harvest_flights()
+        ready, self._ready = self._ready, []
+        return ready
+
+    def _promote_retries(self) -> None:
+        now = self._clock()
+        due = [r for r in self._retries if r.not_before <= now]
+        if self.inline:
+            for retry in due:
+                self._retries.remove(retry)
+                flight = _Flight(
+                    job_id=retry.job_id,
+                    config=retry.config,
+                    attempts=retry.attempts + 1,
+                )
+                self._settle(flight, self._run_inline(retry.config))
+            return
+        for retry in due:
+            if len(self._flights) >= self.workers:
+                break
+            self._retries.remove(retry)
+            flight = _Flight(
+                job_id=retry.job_id,
+                config=retry.config,
+                attempts=retry.attempts + 1,
+            )
+            self._flights.append(flight)
+            self._launch(flight)
+
+    def _harvest_flights(self) -> None:
+        now = self._clock()
+        broken = False
+        settled: list[_Flight] = []
+        timed_out: list[_Flight] = []
+        for flight in self._flights:
+            future = flight.future
+            if future is not None and future.done():
+                exc = None if future.cancelled() else future.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    broken = True
+                    continue  # handled below, pool-wide
+                settled.append(flight)
+            elif flight.deadline is not None and now > flight.deadline:
+                timed_out.append(flight)
+
+        for flight in settled:
+            self._flights.remove(flight)
+            assert flight.future is not None
+            exc = (
+                None if flight.future.cancelled() else flight.future.exception()
+            )
+            if flight.future.cancelled() or exc is not None:
+                # A raising run_fn (run_scenario_safe never raises, but an
+                # injected one might): treated like any failed attempt.
+                failure = FailedRun(
+                    scenario=flight.config.name,
+                    policy=flight.config.policy,
+                    seed=flight.config.seed,
+                    error_type=type(exc).__name__ if exc else "Cancelled",
+                    error_message=str(exc) if exc else "future cancelled",
+                )
+                self._settle(flight, failure)
+            else:
+                self._settle(flight, flight.future.result())
+
+        if timed_out:
+            self.stats.timeouts += len(timed_out)
+            for flight in timed_out:
+                self._flights.remove(flight)
+                if flight.future is not None:
+                    flight.future.cancel()
+                self._settle(
+                    flight,
+                    FailedRun(
+                        scenario=flight.config.name,
+                        policy=flight.config.policy,
+                        seed=flight.config.seed,
+                        error_type=ERROR_TIMEOUT,
+                        error_message=(
+                            f"no heartbeat within {self.timeout}s "
+                            f"(attempt {flight.attempts})"
+                        ),
+                    ),
+                )
+            # The overdue worker still occupies a pool slot; abandon the
+            # pool so the remaining flights get fresh workers.
+            broken = True
+
+        if broken:
+            died = [
+                f
+                for f in self._flights
+                if f.future is not None
+                and f.future.done()
+                and not f.future.cancelled()
+                and isinstance(f.future.exception(), BrokenProcessPool)
+            ]
+            if died:
+                self.stats.worker_deaths += 1
+            for flight in died:
+                self._flights.remove(flight)
+                self._settle(
+                    flight,
+                    FailedRun(
+                        scenario=flight.config.name,
+                        policy=flight.config.policy,
+                        seed=flight.config.seed,
+                        error_type=ERROR_WORKER_DEATH,
+                        error_message=(
+                            f"worker died (attempt {flight.attempts})"
+                        ),
+                    ),
+                )
+            self._rebuild_pool()
+
+    # -- settle / retry / quarantine ---------------------------------------
+
+    def _settle(
+        self, flight: _Flight, result: RunSummary | FailedRun
+    ) -> None:
+        if isinstance(result, RunSummary):
+            self.stats.completed += 1
+            self._ready.append(
+                JobOutcome(
+                    job_id=flight.job_id,
+                    result=result,
+                    attempts=flight.attempts,
+                )
+            )
+            return
+        if flight.attempts < self.max_attempts:
+            self.stats.retries += 1
+            delay = self._backoff_for(flight.job_id)[flight.attempts - 1]
+            self._retries.append(
+                _Retry(
+                    job_id=flight.job_id,
+                    config=flight.config,
+                    attempts=flight.attempts,
+                    not_before=self._clock() + delay,
+                )
+            )
+            return
+        self.stats.failed += 1
+        self.stats.quarantined += 1
+        quarantine = self._quarantine(flight, result)
+        self._ready.append(
+            JobOutcome(
+                job_id=flight.job_id,
+                result=result.replace_attempts(flight.attempts),
+                attempts=flight.attempts,
+                quarantine=quarantine,
+            )
+        )
+
+    def _backoff_for(self, job_id: str) -> list[float]:
+        """The job's full seeded retry schedule (deterministic per job)."""
+        return backoff_delays(
+            derive_seed(self._seed, "service.backoff", job_id),
+            max(1, self.max_attempts - 1),
+            base=self._backoff_base,
+            cap=self._backoff_cap,
+        )
+
+    def _quarantine(self, flight: _Flight, failure: FailedRun) -> str:
+        """Write a poison job as a chaos-corpus reproducer; returns path."""
+        if self._quarantine_dir is None:
+            return ""
+        from repro.chaos.corpus import make_entry, write_entry
+        from repro.chaos.oracles import ORACLE_CRASH, OracleFailure
+
+        entry = make_entry(
+            flight.config,
+            OracleFailure(
+                oracle=ORACLE_CRASH,
+                detail=(
+                    f"service job {flight.job_id} poisoned after "
+                    f"{flight.attempts} attempts: {failure.error_message}"
+                ),
+                invariant=failure.error_type,
+            ),
+        )
+        try:
+            return str(write_entry(self._quarantine_dir, entry))
+        except OSError as exc:
+            # Quarantine is diagnostics; a full disk must not turn a
+            # cleanly-failed job into a crashed service.
+            return f"unwritable: {exc}"

@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import math
 
+import pytest
+
 from repro.experiments.checkpoint import SweepCheckpoint, config_fingerprint
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import random_waypoint_scenario, scale_scenario
@@ -72,7 +74,8 @@ class TestPersistence:
         ckpt.record("k1", FailedRun("s", "fifo", 1, "RuntimeError", "boom"))
         summary = run_scenario(tiny())
         ckpt.record("k1", summary)
-        reloaded = SweepCheckpoint(path)
+        with pytest.warns(UserWarning, match="duplicate"):
+            reloaded = SweepCheckpoint(path)
         assert reloaded.completed("k1") is not None
         assert reloaded.failed("k1") is None
 
@@ -99,6 +102,53 @@ class TestPersistence:
         assert len(ckpt) == 1
         assert ckpt.completed("k1") is not None
         assert ckpt.completed("k2") is None
+
+    def test_duplicate_fingerprints_warn_once_and_keep_the_last(
+        self, tmp_path
+    ):
+        # A journal with hand-duplicated lines (a retry history, or a
+        # sweep that recomputed items after a pool rebuild before the
+        # harvest fix): replay keeps the LAST record per key and warns
+        # exactly once, naming the counts.
+        import warnings as warnings_module
+
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = SweepCheckpoint(path)
+        summary = run_scenario(tiny())
+        ckpt.record("k1", FailedRun("s", "fifo", 1, "RuntimeError", "boom"))
+        ckpt.record("k2", summary)
+        # Duplicate both keys by replaying the file onto itself.
+        lines = path.read_text(encoding="utf-8")
+        first_k1 = json.loads(lines.splitlines()[0])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(lines)  # k1 failed, k2 summary — again
+            fh.write(json.dumps(first_k1) + "\n")  # k1 a third time
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            reloaded = SweepCheckpoint(path)
+        dup_warnings = [
+            w for w in caught if "duplicate" in str(w.message)
+        ]
+        assert len(dup_warnings) == 1  # once per load, not per line
+        assert "3 duplicate line(s)" in str(dup_warnings[0].message)
+        assert "2 fingerprint(s)" in str(dup_warnings[0].message)
+        assert reloaded.duplicate_keys == 3
+        # Last-write-wins: k1's final record is the failure replay, k2's
+        # the summary.
+        assert reloaded.failed("k1") is not None
+        assert reloaded.completed("k2") is not None
+
+    def test_clean_journal_does_not_warn(self, tmp_path):
+        import warnings as warnings_module
+
+        path = tmp_path / "ckpt.jsonl"
+        SweepCheckpoint(path).record("k1", run_scenario(tiny()))
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            reloaded = SweepCheckpoint(path)
+        assert [w for w in caught if "duplicate" in str(w.message)] == []
+        assert reloaded.duplicate_keys == 0
 
     def test_record_repairs_a_torn_tail_before_appending(self, tmp_path):
         # Hand-truncate the final line (no trailing newline), then append:

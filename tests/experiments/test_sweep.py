@@ -124,3 +124,70 @@ class TestBackoff:
             )
 
         run_many([broken(seed=4)], workers=1, retries=2, backoff_base=0.0)
+
+
+class TestBackoffEdges:
+    def test_zero_attempts_is_empty(self):
+        from repro.experiments.sweep import backoff_delays
+
+        assert backoff_delays(7, 0) == []
+
+    def test_zero_base_yields_all_zero_delays(self):
+        from repro.experiments.sweep import backoff_delays
+
+        assert backoff_delays(7, 5, base=0.0) == [0.0] * 5
+
+    def test_cap_below_base_caps_every_window(self):
+        from repro.experiments.sweep import backoff_delays
+
+        delays = backoff_delays(7, 6, base=10.0, cap=1.0)
+        for delay in delays:
+            assert 0.5 <= delay <= 1.0  # equal jitter inside [cap/2, cap]
+
+    def test_jitter_is_the_seeded_stream_exactly(self):
+        # The jitter draws come from RngFactory(seed).stream("sweep.backoff")
+        # and nowhere else: reconstructing them reproduces the schedule to
+        # the bit.
+        from repro.experiments.sweep import backoff_delays
+        from repro.rng import RngFactory
+
+        stream = RngFactory(11).stream("sweep.backoff")
+        expected = []
+        for k in range(1, 5):
+            window = min(30.0, 0.5 * 2.0 ** (k - 1))
+            expected.append(window * (0.5 + 0.5 * float(stream.random())))
+        assert backoff_delays(11, 4) == expected
+
+
+class TestRetrySeeds:
+    def test_failed_item_retries_with_fresh_derived_seed(self, monkeypatch):
+        # First attempt fails for one config; the retry must run a config
+        # whose seed is derived from the original (never the same event
+        # sequence again), and the result must land in the original slot.
+        import repro.experiments.sweep as sweep_module
+        from repro.reports.summary import FailedRun, RunSummary
+        from repro.rng import derive_seed
+
+        ok, bad = tiny(seed=3), tiny(seed=4)
+        retry_seed = derive_seed(bad.seed, "retry", 1)
+        calls = []
+
+        def fake_safe(cfg):
+            calls.append(cfg.seed)
+            if cfg.seed == bad.seed:
+                return FailedRun(
+                    scenario=cfg.name, policy=cfg.policy, seed=cfg.seed,
+                    error_type="Boom", error_message="first attempt dies",
+                )
+            return run_scenario(cfg)
+
+        monkeypatch.setattr(sweep_module, "run_scenario_safe", fake_safe)
+        results = run_many(
+            [ok, bad], workers=1, retries=1, backoff_base=0.0
+        )
+        assert calls == [ok.seed, bad.seed, retry_seed]
+        assert isinstance(results[0], RunSummary)
+        assert results[0].seed == ok.seed
+        assert isinstance(results[1], RunSummary)  # retry succeeded ...
+        assert results[1].seed == retry_seed  # ... with the derived seed
+        assert len(results) == 2  # ordering preserved, one slot per config

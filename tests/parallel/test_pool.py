@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import signal
 import time
 
 import pytest
@@ -123,4 +124,60 @@ class TestWorkerDeath:
         assert got[1] == "crashed"
         # Items after the rebuild still completed.
         assert got[2:] == [9, 16]
+
+
+def log_then_return(item):
+    """Sleeps, optionally SIGKILLs its own worker, else logs one line.
+
+    The log file counts executions — the harvest regression asserts an
+    item that completed on a dying pool is *not* recomputed on the fresh
+    one.  Module-level so spawn workers can unpickle it.
+    """
+    tag, delay, logdir = item
+    time.sleep(delay)
+    if tag == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    with open(
+        os.path.join(logdir, f"{tag}.log"), "a", encoding="utf-8"
+    ) as fh:
+        fh.write(f"{os.getpid()}\n")
+    return tag
+
+
+class TestHarvestAfterWorkerDeath:
+    def test_completed_items_harvested_not_recomputed(self, tmp_path):
+        # Worker 2 sleeps 2s then SIGKILLs itself; worker 1 meanwhile
+        # finishes a, b and c.  When the pool breaks, b and c have
+        # completed futures — the rebuild must harvest them, not rerun
+        # them (each log file counts executions).
+        items = [
+            ("a", 0.0, str(tmp_path)),
+            ("kill", 2.0, str(tmp_path)),
+            ("b", 0.0, str(tmp_path)),
+            ("c", 0.0, str(tmp_path)),
+        ]
+        seen = []
+        got = parallel_map(
+            log_then_return, items, workers=2,
+            on_error=lambda item, exc: "crashed",
+            on_result=lambda i, r: seen.append(i),
+        )
+        assert got == ["a", "crashed", "b", "c"]
+        assert seen == [0, 1, 2, 3]  # input order, despite the break
+        for tag in ("a", "b", "c"):
+            runs = (tmp_path / f"{tag}.log").read_text().splitlines()
+            assert len(runs) == 1, f"item {tag} ran {len(runs)} times"
+
+    def test_unfinished_item_is_retried_on_a_fresh_pool(self, tmp_path):
+        # The SIGKILL lands while d is still running, so d's future is
+        # broken with the pool: it must be resubmitted (exactly one
+        # completed execution) and keep its slot.
+        items = [("kill", 0.5, str(tmp_path)), ("d", 3.0, str(tmp_path))]
+        got = parallel_map(
+            log_then_return, items, workers=2, timeout=30.0,
+            on_error=lambda item, exc: "crashed",
+        )
+        assert got == ["crashed", "d"]
+        runs = (tmp_path / "d.log").read_text().splitlines()
+        assert len(runs) == 1
 

@@ -1,0 +1,23 @@
+"""Fixture: ambient sleeps that REP010 must flag outside the pacing sites."""
+
+import time
+from time import sleep  # REP010: ambient sleep import
+
+
+def bad_wait() -> None:
+    time.sleep(0.5)  # REP010
+
+
+def bad_poll(ready) -> None:
+    while not ready():
+        time.sleep(0.01)  # REP010
+
+
+def use_import() -> None:
+    sleep(1.0)
+
+
+def allowed_reference(fallback=None):
+    # Referencing time.sleep as an injectable default is fine: the call
+    # site receives it as a parameter and tests can substitute a fake.
+    return fallback if fallback is not None else time.sleep

@@ -286,6 +286,59 @@ def test_rep009_scoped_to_src_repro():
         assert out == []
 
 
+# -- REP010: ambient sleep ---------------------------------------------------
+
+
+def test_rep010_flags_ambient_sleeps_in_library_code():
+    out = lint_source(
+        fixture("rep010_sleep.py"), "src/repro/experiments/runner.py",
+        codes=["REP010"],
+    )
+    # Two time.sleep() calls + the `from time import sleep`; the bare
+    # time.sleep *reference* (injectable default) is deliberately quiet.
+    assert codes(out) == ["REP010"] * 3
+    messages = " ".join(v.message for v in out)
+    assert "injectable sleep" in messages
+
+
+def test_rep010_marks_exactly_the_marked_lines():
+    source_lines = fixture("rep010_sleep.py").splitlines()
+    marked = {
+        i for i, text in enumerate(source_lines, start=1) if "# REP010" in text
+    }
+    out = lint_source(
+        fixture("rep010_sleep.py"), "src/repro/engine/bad.py",
+        codes=["REP010"],
+    )
+    assert {v.line for v in out} == marked
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/service/api.py",
+    "src/repro/service/supervisor.py",
+    "src/repro/experiments/sweep.py",
+])
+def test_rep010_allows_the_sanctioned_pacing_sites(path):
+    out = lint_source(fixture("rep010_sleep.py"), path, codes=["REP010"])
+    assert out == []
+
+
+def test_rep010_scoped_to_src_repro():
+    for path in ("tests/service/test_x.py", "tools/smoke.py",
+                 "benchmarks/bench_x.py"):
+        out = lint_source(fixture("rep010_sleep.py"), path, codes=["REP010"])
+        assert out == []
+
+
+def test_rep009_allows_the_service_boundary():
+    out = lint_source(
+        fixture("rep009_swallowed_invariant.py"),
+        "src/repro/service/supervisor.py",
+        codes=["REP009"],
+    )
+    assert out == []
+
+
 # -- the clean fixture passes everything -------------------------------------
 
 

@@ -1,0 +1,72 @@
+"""Admission queue: bounded, deterministic backpressure and shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.queue import RETRY_AFTER_PER_JOB, AdmissionQueue
+
+
+def fill(q, n, priority=0, start_seq=0):
+    for i in range(n):
+        decision = q.offer(f"j{start_seq + i}", priority=priority,
+                           seq=start_seq + i)
+        assert decision.admitted
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AdmissionQueue(0)
+
+
+def test_fifo_within_a_priority():
+    q = AdmissionQueue(4)
+    fill(q, 3)
+    assert [q.pop(), q.pop(), q.pop()] == ["j0", "j1", "j2"]
+    assert q.pop() is None
+
+
+def test_higher_priority_dispatches_first():
+    q = AdmissionQueue(4)
+    q.offer("low", priority=0, seq=0)
+    q.offer("high", priority=5, seq=1)
+    q.offer("mid", priority=2, seq=2)
+    assert q.snapshot() == ["high", "mid", "low"]
+
+
+def test_full_queue_rejects_with_growing_retry_after():
+    q = AdmissionQueue(2)
+    fill(q, 2)
+    decision = q.offer("extra", priority=0, seq=9)
+    assert not decision.admitted
+    assert decision.retry_after == RETRY_AFTER_PER_JOB * 3  # depth 2 + 1
+    assert decision.displaced is None
+    assert len(q) == 2  # never grows
+
+
+def test_higher_priority_displaces_the_newest_lowest():
+    q = AdmissionQueue(2)
+    q.offer("old-low", priority=0, seq=0)
+    q.offer("new-low", priority=0, seq=1)
+    decision = q.offer("urgent", priority=3, seq=2)
+    assert decision.admitted
+    # Victim is lowest priority, newest admission among equals.
+    assert decision.displaced == "new-low"
+    assert "urgent" in q and "old-low" in q
+
+
+def test_equal_priority_never_displaces():
+    q = AdmissionQueue(1)
+    q.offer("first", priority=1, seq=0)
+    decision = q.offer("second", priority=1, seq=1)
+    assert not decision.admitted
+    assert decision.displaced is None
+
+
+def test_force_bypasses_the_bound_for_recovery():
+    q = AdmissionQueue(1)
+    fill(q, 1)
+    q.force("recovered", priority=0, seq=99)
+    assert len(q) == 2  # transient overshoot, drains via pop
+    assert q.pop() == "j0"
+    assert q.pop() == "recovered"

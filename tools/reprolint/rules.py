@@ -641,7 +641,7 @@ class Rep009SwallowedInvariant(Rule):
     }
     #: Failure boundaries allowed to absorb broad exceptions (they turn
     #: them into oracle verdicts / FailedRun records by design).
-    _ALLOWED_PREFIXES = ("src/repro/chaos/",)
+    _ALLOWED_PREFIXES = ("src/repro/chaos/", "src/repro/service/")
     _ALLOWED_FILES = {
         "src/repro/experiments/runner.py",
         "src/repro/experiments/sweep.py",
@@ -701,6 +701,60 @@ class Rep009SwallowedInvariant(Rule):
                 )
 
 
+# -- REP010 ------------------------------------------------------------------
+
+
+class Rep010AmbientSleep(Rule):
+    """Library code must not block on the wall clock.
+
+    An ambient ``time.sleep`` inside ``src/repro`` makes behaviour (and
+    test wall-time) depend on host speed and hides a missing abstraction:
+    simulation code advances via :attr:`Simulator.now`, and anything that
+    genuinely needs to pace itself against real time must take an
+    injectable ``sleep`` callable so tests and chaos campaigns can run it
+    on a fake clock.  Only the two sanctioned pacing sites may call it:
+    the sweep engine's retry backoff (``experiments/sweep.py``) and the
+    scenario service's drain loop (``src/repro/service/``) — both of which
+    expose the delay schedule / sleep hook for deterministic testing.
+    Flagged: ``time.sleep(...)`` calls and ``from time import sleep``.
+    """
+
+    code = "REP010"
+    title = "ambient time.sleep outside the sanctioned pacing sites"
+
+    _ALLOWED_PREFIXES = ("src/repro/service/",)
+    _ALLOWED_FILES = {"src/repro/experiments/sweep.py"}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_repro:
+            return
+        if ctx.path in self._ALLOWED_FILES or ctx.path.startswith(
+            self._ALLOWED_PREFIXES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        yield self.violation(
+                            ctx, node,
+                            "`from time import sleep` in library code; "
+                            "accept an injectable sleep callable (see "
+                            "repro.service) or restructure to event-driven "
+                            "waiting",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain[-2:] == ["time", "sleep"]:
+                    yield self.violation(
+                        ctx, node,
+                        "time.sleep() blocks on the wall clock in library "
+                        "code; accept an injectable sleep callable (see "
+                        "repro.service) or restructure to event-driven "
+                        "waiting",
+                    )
+
+
 #: Rule classes in code order; the runner instantiates fresh per invocation.
 ALL_RULES: tuple[type[Rule], ...] = (
     Rep001AmbientRng,
@@ -712,4 +766,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     Rep007DeprecatedAlias,
     Rep008PickledState,
     Rep009SwallowedInvariant,
+    Rep010AmbientSleep,
 )
