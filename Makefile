@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke obs-smoke chaos-smoke service-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint lint-deep sanitize-smoke obs-smoke chaos-smoke service-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,13 @@ lint:
 	else \
 		echo "mypy not installed; skipping type check (CI runs it)"; \
 	fi
+
+# Whole-program determinism analysis (REP101..REP104: RNG provenance,
+# iteration-order taint, snapshot coverage, observer purity).  Fails on
+# any new finding or stale disable comment; the committed baseline is
+# empty by construction.
+lint-deep:
+	PYTHONPATH=tools $(PYTHON) -m reprolint.deep --stats --fail-on-unused-suppressions
 
 # Dynamic layer: reduced paper scenarios with every runtime invariant
 # checked each tick (buffer accounting, pins, TTL, spray-token budget,

@@ -14,6 +14,7 @@ gives two properties the experiment harness relies on:
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -70,7 +71,7 @@ class RngFactory:
 
     # -- snapshot support --------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Capture every spawned stream's bit-generator state.
 
         The returned structure is JSON-serializable (PCG64 exposes its state
@@ -84,7 +85,7 @@ class RngFactory:
             }
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Restore stream states captured by :meth:`state_dict`.
 
         Streams are (re)created by name — :meth:`stream` derives them purely

@@ -114,7 +114,9 @@ class TraceWorld:
         if node_id in self.down_nodes:
             return
         self.down_nodes.add(node_id)
-        for i, j in [pair for pair in self.links if node_id in pair]:
+        # Sorted so teardown order is a function of the pair ids alone,
+        # never of set memory layout (matches World.set_node_down).
+        for i, j in sorted(pair for pair in self.links if node_id in pair):
             self._drop_link(self.nodes[i], self.nodes[j])
 
     def set_node_up(self, node_id: int) -> None:

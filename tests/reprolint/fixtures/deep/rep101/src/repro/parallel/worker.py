@@ -1,0 +1,20 @@
+"""REP101 fixture: worker-path seed derivation."""
+
+from repro.rng import RngFactory, derive_seed
+
+
+def run_derived(task) -> RngFactory:
+    """TN: worker derives its seed from the task."""
+    seed = derive_seed(task.seed, task.index)
+    return RngFactory(seed)
+
+
+def run_attribute(task) -> RngFactory:
+    """TN: attribute seeds (config.seed style) are accepted."""
+    return RngFactory(task.seed)
+
+
+def run_underived(task) -> RngFactory:
+    """TP x1: locally-computed seed — replayed workers may diverge."""
+    seed = task.seed + 1
+    return RngFactory(seed)

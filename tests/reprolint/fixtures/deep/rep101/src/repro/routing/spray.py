@@ -1,0 +1,58 @@
+"""REP101 fixture: draw-provenance true positives, negatives, suppression."""
+
+import numpy as np
+
+from repro.rng import RngFactory
+
+
+class GoodRouter:
+    """TN: draws trace to a named stream bound on self."""
+
+    def __init__(self, factory: RngFactory) -> None:
+        self._rng = factory.stream("routing.spray")
+
+    def pick(self) -> float:
+        return self._rng.random()
+
+
+def good_param_draw(rng) -> float:
+    """TN: unannotated-but-rng-named parameter counts as caller-supplied."""
+    return rng.uniform(0.0, 1.0)
+
+
+def good_per_node_streams(factory: RngFactory, nodes) -> None:
+    """TN: stream name varies per node, safe to shard."""
+    for node in nodes:
+        rng = factory.stream(f"routing.node.{node.id}")
+        node.offset = rng.uniform(0.0, 1.0)
+
+
+def bad_literal_factory() -> float:
+    """TP x1: literal seed decouples this code from the scenario seed."""
+    rng = RngFactory(42).stream("routing.bad")
+    return rng.random()
+
+
+def bad_ambient() -> float:
+    """TP x1: ambient numpy generator, not a named stream."""
+    gen = np.random.default_rng()
+    return gen.random()
+
+
+def bad_untraceable(state) -> float:
+    """TP x1: rng-named local whose origin cannot be traced."""
+    rng = state.make_generator()
+    return rng.normal()
+
+
+def bad_shared_loop(factory: RngFactory, nodes) -> None:
+    """TP x1: one constant-named stream drawn inside a per-node loop."""
+    rng = factory.stream("routing.step")
+    for node in nodes:
+        node.offset = rng.uniform(0.0, 1.0)
+
+
+def suppressed_literal() -> float:
+    """Suppressed: documented constant-seed fallback."""
+    rng = RngFactory(7).stream("routing.fallback")  # reprolint: disable=REP101
+    return rng.random()

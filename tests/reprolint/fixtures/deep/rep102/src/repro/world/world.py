@@ -1,0 +1,58 @@
+"""REP102 fixture: set-iteration taint with sinks, sanitizers, suppression."""
+
+import os
+
+
+class World:
+    def __init__(self) -> None:
+        self.links: set = set()
+        self.teardown_log: list = []
+
+    def _drop(self, pair) -> None:
+        self.teardown_log.append(pair)
+
+    def bad_teardown(self, new_links: set) -> None:
+        """TP x1: set-difference order flows into a state-mutating call."""
+        for pair in self.links - new_links:
+            self._drop(pair)
+
+    def good_teardown(self, new_links: set) -> None:
+        """TN: sorted() sanitizes the iteration order."""
+        for pair in sorted(self.links - new_links):
+            self._drop(pair)
+
+    def good_unordered_accumulation(self, new_links: set) -> set:
+        """TN: accumulating into a set keeps the result order-free."""
+        stale = set()
+        for pair in self.links - new_links:
+            stale.add(pair)
+        return stale
+
+    def bad_materialize(self) -> list:
+        """TP x1: list() freezes hash order into an ordered sequence."""
+        return list(self.links)
+
+    def good_materialize(self) -> list:
+        """TN: sorted() produces a deterministic sequence."""
+        return sorted(self.links)
+
+    def suppressed_teardown(self, new_links: set) -> None:
+        """Suppressed: order provably irrelevant at this site."""
+        for pair in self.links - new_links:  # reprolint: disable=REP102
+            self._drop(pair)
+
+
+def bad_listing(path: str) -> list:
+    """TP x1: filesystem listing order accumulates into an ordered list."""
+    names: list = []
+    for name in os.listdir(path):
+        names.append(name)
+    return names
+
+
+def good_listing(path: str) -> list:
+    """TN: sorted listing."""
+    names: list = []
+    for name in sorted(os.listdir(path)):
+        names.append(name)
+    return names

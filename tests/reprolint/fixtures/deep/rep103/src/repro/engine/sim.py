@@ -1,0 +1,23 @@
+"""REP103 fixture: one captured, one missed, one suppressed attribute."""
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.count = 0
+        self._total = 0
+        self.missed = 0
+        self.transient = 0
+
+    def tick(self) -> None:
+        self.count += 1
+        self._total += 1
+        self.missed += 1
+
+    def reset(self) -> None:
+        self.transient = 0  # reprolint: disable=REP103
+
+    @property
+    def total(self) -> int:
+        """Captured indirectly: capture reads ``total``, which reads
+        ``_total`` — the property-expansion fixpoint must cover it."""
+        return self._total

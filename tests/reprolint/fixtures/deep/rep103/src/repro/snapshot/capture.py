@@ -1,0 +1,6 @@
+"""REP103 fixture codec: reads ``count`` directly and ``_total`` through
+the ``total`` property; deliberately never reads ``missed``/``transient``."""
+
+
+def save(counter) -> dict:
+    return {"count": counter.count, "total": counter.total}

@@ -1,0 +1,30 @@
+"""REP104 fixture: pure observer, impure observer, suppressed site."""
+
+
+class GoodProbe:
+    """TN: mutates only itself; registration calls are wiring, not state."""
+
+    def __init__(self, sim) -> None:
+        self.samples: list = []
+        sim.listeners.subscribe("tick", self._on_tick)
+
+    def _on_tick(self, now: float) -> None:
+        self.samples.append(now)
+
+    def summarize(self) -> float:
+        totals = [s for s in self.samples]
+        return sum(totals)
+
+
+class BadProbe:
+    def attach(self, sim) -> None:
+        """TP x1: writes a foreign object's attribute."""
+        sim.tag = "observed"
+
+    def drain(self, sim) -> None:
+        """TP x1: calls a mutator method on a foreign object."""
+        sim.queue.pop()
+
+    def suppressed_touch(self, sim) -> None:
+        """Suppressed: the one blessed foreign interaction."""
+        sim.flags.update({"obs": True})  # reprolint: disable=REP104

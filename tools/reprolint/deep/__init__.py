@@ -1,0 +1,29 @@
+"""reprolint-deep: whole-program determinism dataflow analysis.
+
+Four cross-module rule families over a module/symbol graph with call
+summaries (see ``docs/static_analysis.md``):
+
+========  ==========================================================
+REP101    random draws must trace to a named ``RngFactory`` stream
+REP102    unordered iteration order must not reach simulator state
+REP103    mutable simulator state must be captured by the snapshot codec
+REP104    ``repro.obs`` call graphs must be observation-only
+========  ==========================================================
+
+Run with ``python -m reprolint.deep`` (``make lint-deep``).
+"""
+
+from reprolint.deep.cli import AnalysisResult, analyze, main
+from reprolint.deep.findings import Finding
+from reprolint.deep.project import Project, load_project
+from reprolint.deep.rules import ALL_DEEP_RULES
+
+__all__ = [
+    "ALL_DEEP_RULES",
+    "AnalysisResult",
+    "Finding",
+    "Project",
+    "analyze",
+    "load_project",
+    "main",
+]

@@ -1,0 +1,17 @@
+"""``python -m reprolint.deep`` entry point."""
+
+import os
+import sys
+
+from reprolint.deep.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; exit quietly instead of
+        # tracebacking.  Re-point stdout at devnull so the interpreter's
+        # shutdown flush does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

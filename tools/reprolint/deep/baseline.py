@@ -1,0 +1,87 @@
+"""Findings baseline: accepted findings keyed by content-hash fingerprint.
+
+The committed baseline (``tools/reprolint/baseline.json``) lets the deep
+analyzer gate CI while known, justified findings are burned down.  Entries
+key on :attr:`~reprolint.deep.findings.Finding.fingerprint` — a hash of
+(code, path, message, anchor text, occurrence) — so reformatting that only
+moves line numbers does not churn the baseline, while any change to the
+flagged code invalidates its entry.
+
+The repo's target state is an **empty** baseline (``{"findings": {}}``);
+prefer fixing or inline-suppressing (with justification) over baselining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from reprolint.deep.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, object]]:
+    """Fingerprint -> entry map from *path*; {} when the file is absent."""
+    if not path.exists():
+        return {}
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"{path}: unreadable baseline ({exc})") from None
+    if not isinstance(raw, dict) or not isinstance(raw.get("findings"), dict):
+        raise BaselineError(f"{path}: baseline must be an object with 'findings'")
+    findings = raw["findings"]
+    for key, entry in findings.items():
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: baseline entry {key!r} is not an object")
+    return dict(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted reprolint-deep findings, keyed by content fingerprint. "
+            "Target state: empty. Regenerate with --write-baseline."
+        ),
+        "findings": {
+            f.fingerprint: {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.code))
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, dict[str, object]]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into (new, baselined); also return stale fingerprints.
+
+    Stale entries (baselined fingerprints no longer produced) are reported
+    so the baseline shrinks as findings are fixed.
+    """
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint
+        if fp in baseline:
+            finding.baselined = True
+            matched.append(finding)
+            seen.add(fp)
+        else:
+            new.append(finding)
+    stale = sorted(fp for fp in baseline if fp not in seen)
+    return new, matched, stale

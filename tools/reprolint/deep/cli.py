@@ -1,0 +1,220 @@
+"""Deep-analyzer entry point: ``python -m reprolint.deep [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from reprolint.deep.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from reprolint.deep.engine import SummaryEngine
+from reprolint.deep.findings import Finding, assign_occurrences
+from reprolint.deep.output import to_json, to_sarif
+from reprolint.deep.project import Project, load_project
+from reprolint.deep.rules import ALL_DEEP_RULES
+from reprolint.deep.suppress import (
+    apply_suppressions,
+    collect_suppressions,
+    unused_suppressions,
+)
+
+DEFAULT_BASELINE = Path("tools/reprolint/baseline.json")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one deep run produced, pre-baseline."""
+
+    project: Project
+    findings: list[Finding] = field(default_factory=list)  # active, unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)
+    unused: list[Finding] = field(default_factory=list)
+    broken: list[Finding] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+
+def analyze(
+    root: Path,
+    paths: list[str] | None = None,
+    codes: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """Run the deep rules over *root* (library entry point, no baseline)."""
+    started = time.perf_counter()
+    project = load_project(root, paths)
+    engine = SummaryEngine(project)
+    wanted = {c.upper() for c in codes} if codes is not None else None
+    findings: list[Finding] = []
+    for rule_cls in ALL_DEEP_RULES:
+        if wanted is not None and rule_cls.code not in wanted:
+            continue
+        findings.extend(rule_cls().run(project, engine))
+    assign_occurrences(findings)
+    suppressions = collect_suppressions(list(project.modules.values()))
+    active, suppressed = apply_suppressions(findings, suppressions)
+    result = AnalysisResult(
+        project=project,
+        findings=active,
+        suppressed=suppressed,
+        unused=unused_suppressions(suppressions),
+        broken=list(project.broken),
+    )
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _rule_docs() -> dict[str, tuple[str, str]]:
+    return {cls.code: (cls.title, cls.explain) for cls in ALL_DEEP_RULES}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint-deep",
+        description="Whole-program determinism analysis for the SDSRP "
+        "reproduction (RNG provenance, order-sensitivity taint, snapshot "
+        "coverage, observer purity).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="directories/files to analyze, relative to --root (default: src)",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="project root for path normalization (default: cwd)",
+    )
+    parser.add_argument(
+        "--select", nargs="+", metavar="CODE", default=None,
+        help="only run these rule codes (e.g. REP102 REP103)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} under --root, "
+        "when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write a JSON report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="write a SARIF 2.1.0 report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--fail-on-unused-suppressions", action="store_true",
+        help="exit non-zero when stale disable comments exist (CI mode)",
+    )
+    parser.add_argument(
+        "--explain", metavar="CODE", default=None,
+        help="print the full rule description for CODE and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the deep rule set and exit",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print module/finding counts and timing to stderr",
+    )
+    args = parser.parse_args(argv)
+
+    docs = _rule_docs()
+    if args.list_rules:
+        for code in sorted(docs):
+            print(f"{code}  {docs[code][0]}")
+        return 0
+    if args.explain is not None:
+        code = args.explain.upper()
+        if code not in docs:
+            known = ", ".join(sorted(docs))
+            print(f"unknown rule {code}; known deep rules: {known}",
+                  file=sys.stderr)
+            return 2
+        title, explanation = docs[code]
+        print(f"{code} — {title}\n\n{explanation}")
+        return 0
+
+    root = Path(args.root).resolve()
+    result = analyze(root, args.paths or None, codes=args.select)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"reprolint-deep: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline: dict[str, dict[str, object]] = {}
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"reprolint-deep: {exc}", file=sys.stderr)
+            return 2
+    new, baselined, stale = apply_baseline(result.findings, baseline)
+
+    for finding in result.broken:
+        print(finding.format())
+    for finding in new:
+        print(finding.format())
+    for finding in result.unused:
+        print(finding.format())
+
+    if args.json is not None:
+        payload = to_json(new, result.suppressed + baselined,
+                          result.unused, stale)
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+    if args.sarif is not None:
+        sarif = to_sarif(new + result.broken, docs, unused=result.unused)
+        if args.sarif == "-":
+            sys.stdout.write(sarif)
+        else:
+            Path(args.sarif).write_text(sarif, encoding="utf-8")
+
+    if args.stats:
+        print(
+            f"reprolint-deep: {len(result.project.modules)} module(s), "
+            f"{len(new)} new, {len(baselined)} baselined, "
+            f"{len(result.suppressed)} suppressed, "
+            f"{len(result.unused)} unused suppression(s), "
+            f"{len(stale)} stale baseline entr(y/ies), "
+            f"{result.wall_seconds:.2f}s",
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            f"reprolint-deep: {len(stale)} stale baseline entr(y/ies) — "
+            "regenerate with --write-baseline to shrink the baseline",
+            file=sys.stderr,
+        )
+
+    failed = bool(new or result.broken)
+    if args.fail_on_unused_suppressions and result.unused:
+        failed = True
+    if failed:
+        total = len(new) + len(result.broken)
+        print(f"reprolint-deep: {total} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,80 @@
+"""Finding records for the deep analyzer.
+
+Unlike the per-file linter's :class:`~reprolint.rules.Violation`, deep
+findings carry a **content-hash fingerprint** so the baseline file keys on
+*what* was found (rule, file, message, anchor line text) rather than *where*
+exactly — pure line-number drift (reformatting, added imports) does not
+invalidate a baselined finding, while any change to the offending line does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Finding:
+    """One deep-analysis hit.
+
+    ``anchor`` is the stripped source text of the flagged line; it feeds the
+    fingerprint together with ``code``/``path``/``message`` and an occurrence
+    index (so two identical lines in one file fingerprint distinctly).
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    anchor: str = ""
+    occurrence: int = 0
+    suppressed: bool = False
+    baselined: bool = False
+    #: Extra rule-specific context (e.g. the attribute a REP103 finding is
+    #: about); serialized into JSON output, excluded from the fingerprint.
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        for part in (
+            self.code, self.path, self.message, self.anchor,
+            str(self.occurrence),
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()[:20]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "detail": dict(self.detail),
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Disambiguate identical (code, path, message, anchor) findings.
+
+    Findings are numbered in (line, col) order so the fingerprint of the
+    *n*-th identical hit is stable as long as their relative order is.
+    Returns the findings sorted by (path, line, col, code).
+    """
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    seen: dict[tuple[str, str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.code, finding.path, finding.message, finding.anchor)
+        finding.occurrence = seen.get(key, 0)
+        seen[key] = finding.occurrence + 1
+    return findings

@@ -1,0 +1,99 @@
+"""JSON and SARIF 2.1.0 serialization for deep findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from reprolint.deep.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_json(
+    findings: list[Finding],
+    suppressed: list[Finding],
+    unused: list[Finding],
+    stale_baseline: list[str],
+) -> str:
+    payload: dict[str, Any] = {
+        "tool": "reprolint-deep",
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "unused_suppressions": [f.to_dict() for f in unused],
+        "stale_baseline": list(stale_baseline),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def to_sarif(
+    findings: list[Finding],
+    rules: dict[str, tuple[str, str]],
+    unused: list[Finding] | None = None,
+) -> str:
+    """Findings (plus unused-suppression findings) as a SARIF log.
+
+    *rules* maps code -> (title, full description); REP000/REP100 get
+    built-in descriptions.
+    """
+    all_rules = dict(rules)
+    all_rules.setdefault("REP000", (
+        "file could not be analyzed",
+        "The file is not valid UTF-8 or does not parse; fix it so the "
+        "analyzer can see it.",
+    ))
+    all_rules.setdefault("REP100", (
+        "unused suppression",
+        "A # reprolint: disable=... comment matched no finding; remove it.",
+    ))
+    ordered_codes = sorted(all_rules)
+    results: list[dict[str, Any]] = []
+    for finding in list(findings) + list(unused or []):
+        results.append({
+            "ruleId": finding.code,
+            "ruleIndex": ordered_codes.index(finding.code)
+            if finding.code in ordered_codes else -1,
+            "level": "error",
+            "message": {"text": finding.message},
+            "partialFingerprints": {"reprolintDeep/v1": finding.fingerprint},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                },
+            }],
+        })
+    log: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint-deep",
+                    "informationUri": "docs/static_analysis.md",
+                    "rules": [
+                        {
+                            "id": code,
+                            "name": code,
+                            "shortDescription": {"text": all_rules[code][0]},
+                            "fullDescription": {"text": all_rules[code][1]},
+                        }
+                        for code in ordered_codes
+                    ],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

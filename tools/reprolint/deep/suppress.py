@@ -1,0 +1,85 @@
+"""Inline ``# reprolint: disable=REPxxx`` suppressions.
+
+A suppression comment on the flagged line silences matching findings for
+that line only.  Unused suppressions (no finding matched) are themselves
+reported as ``REP100`` so stale comments cannot quietly disable future
+findings — CI fails on them via ``--fail-on-unused-suppressions``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from reprolint.deep.findings import Finding
+from reprolint.deep.project import ModuleInfo
+
+_PATTERN = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass
+class Suppression:
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+
+def collect_suppressions(modules: list[ModuleInfo]) -> dict[tuple[str, int], Suppression]:
+    """Scan module sources for suppression comments, keyed by (path, line)."""
+    out: dict[tuple[str, int], Suppression] = {}
+    for module in modules:
+        for lineno, text in enumerate(module.lines, start=1):
+            match = _PATTERN.search(text)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            if codes:
+                out[(module.path, lineno)] = Suppression(
+                    path=module.path, line=lineno, codes=codes
+                )
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: dict[tuple[str, int], Suppression],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed); marks suppressions used."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get((finding.path, finding.line))
+        if suppression is not None and finding.code in suppression.codes:
+            suppression.used.add(finding.code)
+            finding.suppressed = True
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+def unused_suppressions(
+    suppressions: dict[tuple[str, int], Suppression],
+) -> list[Finding]:
+    """``REP100`` findings for suppression codes that matched nothing."""
+    out: list[Finding] = []
+    for suppression in suppressions.values():
+        for code in suppression.codes:
+            if code not in suppression.used:
+                out.append(Finding(
+                    code="REP100",
+                    path=suppression.path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"unused suppression for {code}: no {code} finding on "
+                        "this line — remove the stale comment"
+                    ),
+                ))
+    out.sort(key=lambda f: (f.path, f.line, f.message))
+    return out

@@ -19,8 +19,9 @@ Path scoping conventions (all paths are repo-root-relative, POSIX slashes):
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -36,13 +37,42 @@ class Violation:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (used by the result cache)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Violation":
+        return cls(
+            code=str(data["code"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+        )
+
 
 @dataclass
 class FileContext:
-    """A parsed file plus the path facts rules scope on."""
+    """A parsed file plus the path facts rules scope on.
+
+    The tree is walked exactly **once** per file: the first call to
+    :meth:`nodes` builds a node-type index that every rule then shares,
+    instead of each rule re-running ``ast.walk`` over the whole module
+    (the pre-index runner spent most of its time in those redundant walks).
+    """
 
     path: str  # repo-root-relative, POSIX separators
     tree: ast.Module
+    _index: dict[type[ast.AST], list[ast.AST]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def in_src(self) -> bool:
@@ -54,6 +84,20 @@ class FileContext:
 
     def in_dirs(self, *dirs: str) -> bool:
         return any(self.path.startswith(f"src/repro/{d}/") for d in dirs)
+
+    def nodes(self, *types: type[ast.AST]) -> Iterator[ast.AST]:
+        """All nodes of the given AST types, in source (line) order."""
+        if not self._index:
+            for node in ast.walk(self.tree):
+                self._index.setdefault(type(node), []).append(node)
+        if len(types) == 1:
+            yield from self._index.get(types[0], [])
+            return
+        merged: list[ast.AST] = []
+        for t in types:
+            merged.extend(self._index.get(t, []))
+        merged.sort(key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)))
+        yield from merged
 
 
 class Rule:
@@ -76,16 +120,27 @@ class Rule:
 
 
 class ProjectRule(Rule):
-    """A rule that needs the whole file set before it can report."""
+    """A rule that needs the whole file set before it can report.
 
-    def collect(self, ctx: FileContext) -> None:
+    Split into two halves so the result cache can replay a file's
+    contribution without re-parsing it:
+
+    * :meth:`collect_facts` extracts a **JSON-safe** per-file fact dict;
+    * :meth:`absorb` merges one fact dict (fresh or cached) into the
+      rule's project-wide state, which :meth:`finalize` reports from.
+    """
+
+    def collect_facts(self, ctx: FileContext) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def absorb(self, facts: dict[str, Any]) -> None:
         raise NotImplementedError
 
     def finalize(self) -> Iterator[Violation]:
         raise NotImplementedError
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        self.collect(ctx)
+        self.absorb(self.collect_facts(ctx))
         return iter(())
 
 
@@ -146,7 +201,7 @@ class Rep001AmbientRng(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         is_rng_module = ctx.path == "src/repro/rng.py"
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(ast.Import, ast.ImportFrom, ast.Call):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random" or alias.name.startswith("random."):
@@ -213,7 +268,7 @@ class Rep002WallClock(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_repro:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(ast.ImportFrom, ast.Call):
             if isinstance(node, ast.ImportFrom) and node.module == "time":
                 for alias in node.names:
                     if alias.name in self._TIME_FNS:
@@ -278,9 +333,8 @@ class Rep003TimeFloatEquality(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_src:
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in ctx.nodes(ast.Compare):
+            assert isinstance(node, ast.Compare)
             operands = [node.left, *node.comparators]
             for op, left, right in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
@@ -325,9 +379,8 @@ class Rep004MutableDefault(Rule):
         return False
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
             defaults = [*node.args.defaults, *node.args.kw_defaults]
             for default in defaults:
                 if self._is_mutable(default):
@@ -367,21 +420,38 @@ class Rep005PolicyRegistry(ProjectRule):
         self._registered: set[str] = set()
         self._literal_hits: list[Violation] = []
 
-    def collect(self, ctx: FileContext) -> None:
-        if not ctx.in_src:
-            return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ClassDef):
+    def collect_facts(self, ctx: FileContext) -> dict[str, Any]:
+        classes: dict[str, list[Any]] = {}
+        registered: list[str] = []
+        literals: list[dict[str, Any]] = []
+        if ctx.in_src:
+            for node in ctx.nodes(ast.ClassDef):
+                assert isinstance(node, ast.ClassDef)
                 bases = [
                     _attr_chain(b)[-1] if _attr_chain(b) else ""
                     for b in node.bases
                 ]
-                self._classes[node.name] = (
+                classes[node.name] = [
                     bases, self._is_abstract(node, bases), ctx.path, node.lineno
-                )
-            elif isinstance(node, ast.Call):
-                self._collect_registration(node)
-                self._collect_drop_literal(ctx, node)
+                ]
+            for node in ctx.nodes(ast.Call):
+                assert isinstance(node, ast.Call)
+                self._collect_registration(node, registered)
+                literal = self._drop_literal(ctx, node)
+                if literal is not None:
+                    literals.append(literal.to_dict())
+        return {"classes": classes, "registered": registered, "literals": literals}
+
+    def absorb(self, facts: dict[str, Any]) -> None:
+        for name, entry in facts["classes"].items():
+            bases, is_abstract, path, line = entry
+            self._classes[name] = (
+                list(bases), bool(is_abstract), str(path), int(line)
+            )
+        self._registered.update(facts["registered"])
+        self._literal_hits.extend(
+            Violation.from_dict(d) for d in facts["literals"]
+        )
 
     @staticmethod
     def _is_abstract(node: ast.ClassDef, bases: list[str]) -> bool:
@@ -394,12 +464,14 @@ class Rep005PolicyRegistry(ProjectRule):
                         return True
         return False
 
-    def _collect_registration(self, node: ast.Call) -> None:
+    def _collect_registration(
+        self, node: ast.Call, registered: list[str]
+    ) -> None:
         chain = _attr_chain(node.func)
         if chain[-1:] == ["register_policy"] and len(node.args) >= 2:
             factory = _attr_chain(node.args[1])
             if factory:
-                self._registered.add(factory[-1])
+                registered.append(factory[-1])
         elif chain[-1:] == ["update"] and len(node.args) == 1:
             # `_REGISTRY.update({...: Factory})` in policies/registry.py.
             if not (len(chain) >= 2 and "REGISTRY" in chain[-2].upper()):
@@ -409,12 +481,14 @@ class Rep005PolicyRegistry(ProjectRule):
                 for value in arg.values:
                     factory = _attr_chain(value)
                     if factory:
-                        self._registered.add(factory[-1])
+                        registered.append(factory[-1])
 
-    def _collect_drop_literal(self, ctx: FileContext, node: ast.Call) -> None:
+    def _drop_literal(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Violation | None:
         chain = _attr_chain(node.func)
         if not chain:
-            return
+            return None
         reason: ast.expr | None = None
         if chain[-1] in self._DROP_CALLS:
             idx = self._DROP_CALLS[chain[-1]]
@@ -432,18 +506,17 @@ class Rep005PolicyRegistry(ProjectRule):
             if kw.arg == "reason":
                 reason = kw.value
         if isinstance(reason, ast.Constant) and isinstance(reason.value, str):
-            self._literal_hits.append(
-                Violation(
-                    code=self.code,
-                    path=ctx.path,
-                    line=node.lineno,
-                    col=node.col_offset,
-                    message=(
-                        f"drop reason {reason.value!r} is a string literal; "
-                        "use a DROP_* constant from repro.net.outcomes"
-                    ),
-                )
+            return Violation(
+                code=self.code,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"drop reason {reason.value!r} is a string literal; "
+                    "use a DROP_* constant from repro.net.outcomes"
+                ),
             )
+        return None
 
     def finalize(self) -> Iterator[Violation]:
         yield from self._literal_hits
@@ -492,9 +565,8 @@ class Rep006SwallowedException(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_dirs("engine", "net", "parallel"):
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node in ctx.nodes(ast.ExceptHandler):
+            assert isinstance(node, ast.ExceptHandler)
             if node.type is None:
                 yield self.violation(
                     ctx, node,
@@ -536,7 +608,7 @@ class Rep007DeprecatedAlias(Rule):
     title = "reference to deprecated BufferError_ alias"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(ast.Name, ast.Attribute, ast.ImportFrom):
             name: str | None = None
             if isinstance(node, ast.Name):
                 name = node.id
@@ -578,7 +650,7 @@ class Rep008PickledState(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_src or ctx.path.startswith("src/repro/snapshot/"):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(ast.Import, ast.ImportFrom, ast.Call):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     root = alias.name.split(".", 1)[0]
@@ -684,9 +756,8 @@ class Rep009SwallowedInvariant(Rule):
             self._ALLOWED_PREFIXES
         ):
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node in ctx.nodes(ast.ExceptHandler):
+            assert isinstance(node, ast.ExceptHandler)
             if self._catches_broadly(node) and not self._reraises(node):
                 caught = (
                     "bare except"
@@ -732,7 +803,7 @@ class Rep010AmbientSleep(Rule):
             self._ALLOWED_PREFIXES
         ):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(ast.ImportFrom, ast.Call):
             if isinstance(node, ast.ImportFrom) and node.module == "time":
                 for alias in node.names:
                     if alias.name == "sleep":
