@@ -49,6 +49,19 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time of *repeats* calls (noise-robust point estimate
+    for the speedup-ratio figures)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def figure_payload(data):
     """JSON-friendly dump of a FigureData."""
     return {

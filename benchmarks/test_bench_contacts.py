@@ -53,3 +53,44 @@ def test_detector_n2000(benchmark, kind):
     expected = DETECTORS["kdtree"].pairs(pts, RADIUS)
     result = benchmark(DETECTORS[kind].pairs, pts, RADIUS)
     assert result == expected
+
+
+def _python_pair_loop(pts: np.ndarray, radius: float) -> set[tuple[int, int]]:
+    """The per-pair Python loop vectorization replaced (and the oracle the
+    vector kernels are property-tested against)."""
+    n = pts.shape[0]
+    found = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = pts[i] - pts[j]
+            if float(diff @ diff) <= radius * radius:
+                found.add((i, j))
+    return found
+
+
+@pytest.mark.benchmark(group="contacts-speedup")
+def test_vectorized_speedup_over_python_loop(benchmark, record_figure):
+    """Upper-triangle NumPy detection vs the per-pair Python loop, n=500.
+
+    Records the speedup into bench_results.json; the vector regression
+    gate (test_bench_vector.py) tracks the same ratio across PRs.
+    """
+    from benchmarks.conftest import best_of
+
+    pts = positions(500)
+    detector = DETECTORS["brute"]
+    expected = _python_pair_loop(pts, RADIUS)
+    result = benchmark(detector.pairs, pts, RADIUS)
+    assert result == expected
+
+    python_s = best_of(lambda: _python_pair_loop(pts, RADIUS))
+    numpy_s = best_of(lambda: detector.pairs(pts, RADIUS))
+    speedup = python_s / numpy_s
+    record_figure("contacts_vectorization", {
+        "n": 500,
+        "python_loop_s": python_s,
+        "vectorized_s": numpy_s,
+        "speedup": speedup,
+    })
+    print(f"\nvectorized contacts: {speedup:.1f}x over the Python loop")
+    assert speedup >= 5.0

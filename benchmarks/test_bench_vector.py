@@ -1,0 +1,193 @@
+"""Vector engine benchmarks: kernel speedups, throughput, regression gate.
+
+Three kinds of numbers, recorded into ``bench_results.json`` (see
+docs/vectorization.md for what each one honestly measures):
+
+* **kernel speedups** — the NumPy contact and priority kernels against the
+  pure-Python per-pair/per-message reference loops that double as the
+  oracles in ``tests/vector/test_kernels.py``.  This is where
+  vectorization pays by an order of magnitude.
+* **end-to-end throughput** — ``ticks_per_sec`` for the same scenario on
+  both engine backends.  Whole runs are routing/transfer bound (Amdahl),
+  so the honest end-to-end ratio is modest; it is recorded, not inflated.
+* **the regression gate** — measured *speedup ratios* are compared against
+  ``benchmarks/results/vector_baseline.json``.  Ratios divide two numbers
+  from the same machine and run, so the gate is hardware-independent; a
+  ratio more than 20% below its committed baseline fails the suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import best_of, run_once
+from repro.experiments import random_waypoint_scenario, scale_scenario
+from repro.experiments.figures import REDUCED_INTERVAL_FACTOR
+from repro.experiments.runner import build_scenario
+from repro.vector.kernels import contact_keys_matrix, sdsrp_priority_batch
+from repro.core.priority import priority_closed_form
+
+BASELINE_PATH = Path(__file__).parent / "results" / "vector_baseline.json"
+
+#: Gate threshold: a measured speedup ratio may degrade to this fraction of
+#: its committed baseline before the benchmark fails.
+ALLOWED_REGRESSION = 0.8
+
+_measured: dict[str, float] = {}
+
+
+def reference_contact_loop(positions: np.ndarray, radius: float) -> list[int]:
+    """The pure-Python O(n^2) oracle from tests/vector/test_kernels.py."""
+    n = positions.shape[0]
+    keys = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = positions[i] - positions[j]
+            if float(diff @ diff) <= radius * radius:
+                keys.append(i * n + j)
+    return keys
+
+
+@pytest.mark.benchmark(group="vector-kernels")
+def test_contact_kernel_speedup(benchmark, record_figure):
+    """Dense contact kernel vs the per-pair Python loop at n=500."""
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0.0, 5000.0, size=(500, 2))
+    radius = 100.0
+    want = reference_contact_loop(positions, radius)
+    got = run_once(benchmark, lambda: contact_keys_matrix(positions, radius))
+    assert got.tolist() == want, "kernel and reference disagree"
+
+    python_s = best_of(lambda: reference_contact_loop(positions, radius))
+    numpy_s = best_of(lambda: contact_keys_matrix(positions, radius))
+    speedup = python_s / numpy_s
+    _measured["contact_kernel_speedup"] = speedup
+    record_figure("vector_contact_kernel", {
+        "n": 500,
+        "python_reference_s": python_s,
+        "vector_kernel_s": numpy_s,
+        "speedup": speedup,
+    })
+    print(f"\ncontact kernel: {speedup:.1f}x over the Python loop")
+    assert speedup >= 5.0, (
+        f"contact kernel only {speedup:.1f}x over the per-pair loop"
+    )
+
+
+@pytest.mark.benchmark(group="vector-kernels")
+def test_priority_kernel_speedup(benchmark, record_figure):
+    """Batched SDSRP priority (Eq. 10) vs per-message scalar calls."""
+    rng = np.random.default_rng(1)
+    size = 5000
+    copies = rng.integers(1, 33, size=size)
+    remaining = rng.uniform(0.0, 18000.0, size=size)
+    m_seen = rng.integers(0, 10, size=size)
+    n_holders = np.maximum(1, m_seen + 1 - rng.integers(0, 3, size=size))
+    lam, n_nodes = 0.0004, 100
+
+    def scalar():
+        return [
+            float(priority_closed_form(
+                int(c), float(r), int(m), int(n), lam, n_nodes
+            ))
+            for c, r, m, n in zip(copies, remaining, m_seen, n_holders)
+        ]
+
+    def batched():
+        return sdsrp_priority_batch(
+            copies, remaining, m_seen, n_holders, lam, n_nodes
+        )
+
+    got = run_once(benchmark, batched)
+    assert got.tolist() == scalar(), "batched and scalar priorities disagree"
+
+    scalar_s = best_of(scalar)
+    batch_s = best_of(batched)
+    speedup = scalar_s / batch_s
+    _measured["priority_kernel_speedup"] = speedup
+    record_figure("vector_priority_kernel", {
+        "messages": size,
+        "scalar_s": scalar_s,
+        "batched_s": batch_s,
+        "speedup": speedup,
+    })
+    print(f"\npriority kernel: {speedup:.1f}x over per-message calls")
+    assert speedup >= 5.0, (
+        f"priority kernel only {speedup:.1f}x over per-message calls"
+    )
+
+
+@pytest.mark.benchmark(group="vector-engine")
+def test_backend_ticks_per_sec(benchmark, record_figure):
+    """End-to-end throughput of the same scenario on both backends."""
+    base = scale_scenario(
+        random_waypoint_scenario(policy="sdsrp", seed=5),
+        node_factor=0.25,
+        time_factor=0.2,
+        interval_factor=REDUCED_INTERVAL_FACTOR,
+    )
+
+    def run(backend: str) -> float:
+        config = base.replace(engine_backend=backend)
+
+        def work():
+            built = build_scenario(config)
+            built.sim.run()
+            return built
+
+        elapsed = best_of(work, repeats=2)
+        return (config.sim_time / config.tick) / elapsed
+
+    scalar_tps = run("scalar")
+
+    def vector_work():
+        built = build_scenario(base.replace(engine_backend="vector"))
+        built.sim.run()
+        return built
+
+    built = run_once(benchmark, vector_work)
+    assert built.metrics.created > 0
+    vector_tps = run("vector")
+    ratio = vector_tps / scalar_tps
+    _measured["engine_ticks_ratio"] = ratio
+    record_figure("vector_engine_throughput", {
+        "scenario": base.name,
+        "ticks_per_sec": {"scalar": scalar_tps, "vector": vector_tps},
+        "vector_over_scalar": ratio,
+    })
+    print(
+        f"\nticks/sec: scalar {scalar_tps:.0f}, vector {vector_tps:.0f} "
+        f"({ratio:.2f}x)"
+    )
+    # End-to-end is routing/transfer bound; the vector path must at least
+    # not regress the whole-run throughput materially.
+    assert ratio >= 0.8, f"vector backend slowed the whole run: {ratio:.2f}x"
+
+
+@pytest.mark.benchmark(group="vector-engine")
+def test_speedups_hold_against_committed_baseline(record_figure):
+    """CI gate: every measured speedup ratio stays within 20% of the
+    committed baseline (``vector_baseline.json``)."""
+    if not _measured:
+        pytest.skip("speedup benchmarks did not run in this session")
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    record_figure("vector_speedup_gate", {
+        "baseline": baseline,
+        "measured": dict(_measured),
+        "allowed_regression": ALLOWED_REGRESSION,
+    })
+    failures = []
+    for key, floor in baseline.items():
+        measured = _measured.get(key)
+        if measured is None:
+            failures.append(f"{key}: not measured this session")
+        elif measured < floor * ALLOWED_REGRESSION:
+            failures.append(
+                f"{key}: measured {measured:.2f} < {ALLOWED_REGRESSION:.0%} "
+                f"of baseline {floor:.2f}"
+            )
+    assert not failures, "; ".join(failures)

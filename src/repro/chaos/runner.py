@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.chaos.oracles import (
+    ORACLE_BACKEND,
     ORACLE_CRASH,
     ORACLE_INVARIANT,
     OracleFailure,
@@ -27,7 +28,13 @@ from repro.errors import InvariantViolation
 from repro.experiments.runner import build_scenario, run_built
 from repro.experiments.scenario import ScenarioConfig
 
-__all__ = ["CaseResult", "case_digest", "run_case", "stable_summary"]
+__all__ = [
+    "CaseResult",
+    "case_digest",
+    "check_backend_identity",
+    "run_case",
+    "stable_summary",
+]
 
 #: RunSummary fields excluded from digests: wall-clock diagnostics that
 #: legitimately differ between byte-identical runs.
@@ -115,3 +122,33 @@ def case_digest(config: ScenarioConfig) -> str | None:
         stable_summary(result.summary), sort_keys=True
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def check_backend_identity(
+    config: ScenarioConfig, own_digest: str | None = None
+) -> OracleFailure | None:
+    """The backend-identity oracle: the same case on the *other* engine
+    backend (scalar <-> vector) must replay the exact bytes.
+
+    *own_digest*, when provided, skips re-running *config* itself (the
+    fuzzer reuses the digest its replay oracle just computed).  Shared by
+    the fuzzing loop, its failure-replay verification and corpus replay so
+    all three judge a divergence the same way.
+    """
+    flipped = config.replace(
+        engine_backend="vector"
+        if config.engine_backend == "scalar"
+        else "scalar"
+    )
+    own = own_digest if own_digest is not None else case_digest(config)
+    other = case_digest(flipped)
+    if own != other:
+        return OracleFailure(
+            oracle=ORACLE_BACKEND,
+            detail=(
+                f"{config.engine_backend} digest {own} != "
+                f"{flipped.engine_backend} digest {other} for the same case"
+            ),
+            invariant="backend-identity",
+        )
+    return None

@@ -73,6 +73,11 @@ class ChaosSpace:
     #: Event-trace ring size for cases (bounds byte-identity comparisons
     #: and failure context; big enough to hold a whole small case).
     trace_capacity: int = 65536
+    #: Engine backends cases may run on.  Sampling "vector" points the
+    #: whole oracle battery at the struct-of-arrays fast path; the
+    #: backend-identity oracle additionally cross-checks every metamorphic
+    #: case against the *other* backend (docs/vectorization.md).
+    engine_backends: tuple[str, ...] = ("scalar", "vector")
 
 
 def _sample_plan(
@@ -148,6 +153,11 @@ def sample_case(
     lo = float(rng.uniform(*space.interval_lo))
     hi = lo + float(rng.uniform(1.0, 10.0))
     faults = _sample_plan(space, rng, n_nodes, sim_time)
+    # Drawn last so adding the backend axis left every pre-existing
+    # (seed, index) -> case mapping — and thus the corpus — intact.
+    backend = space.engine_backends[
+        int(rng.integers(len(space.engine_backends)))
+    ]
 
     # Area scales with fleet size at roughly the Table-II node density, so
     # contact rates stay in a regime where messages actually move.
@@ -167,6 +177,7 @@ def sample_case(
         initial_copies=copies,
         router=router,
         policy=policy,
+        engine_backend=backend,
         seed=seed,
         faults=faults,
         sanitize=True,
@@ -185,7 +196,7 @@ def describe_case(config: ScenarioConfig) -> str:
         )
     return (
         f"{config.name}: {config.router}/{config.policy}/{config.mobility} "
-        f"n={config.n_nodes} t={config.sim_time:.0f}s "
+        f"({config.engine_backend}) n={config.n_nodes} t={config.sim_time:.0f}s "
         f"buf={config.buffer_bytes}B ttl={config.ttl:.0f}s "
         f"L={config.initial_copies} [{fault_bits}]"
     )

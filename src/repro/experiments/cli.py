@@ -64,7 +64,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     base = random_waypoint_scenario() if args.scenario == "rwp" else epfl_scenario()
     config = base.replace(
         policy=args.policy, seed=args.seed, initial_copies=args.copies,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, engine_backend=args.engine,
     )
     if args.reduced:
         config = F.reduced(config)
@@ -202,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scenario", choices=("rwp", "epfl"), default="rwp")
     p_run.add_argument("--policy", default="sdsrp")
     p_run.add_argument("--copies", type=int, default=32)
+    p_run.add_argument("--engine", choices=("scalar", "vector"),
+                       default="scalar",
+                       help="engine backend: per-node scalar loop or the "
+                            "struct-of-arrays vector core (byte-identical "
+                            "output; see docs/vectorization.md)")
     p_run.add_argument("--reduced", action="store_true",
                        help="run the reduced-scale variant")
     p_run.add_argument("--churn", type=float, default=0.0, metavar="FRACTION",

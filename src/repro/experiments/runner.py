@@ -26,6 +26,7 @@ from repro.mobility.base import MobilityModel
 from repro.mobility.random_direction import RandomDirection
 from repro.mobility.random_walk import RandomWalk
 from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.stationary import Stationary
 from repro.mobility.taxi import TaxiFleet
 from repro.net.generator import MessageGenerator, TrafficSpec
 from repro.net.transfer import TransferManager
@@ -47,6 +48,7 @@ from repro.routing.prophet import ProphetRouter
 from repro.routing.spray_and_focus import SprayAndFocusRouter
 from repro.routing.spray_and_wait import SprayAndWaitRouter
 from repro.traces.format import read_movement_trace
+from repro.vector.world import VectorWorld
 from repro.world.contacts import make_detector
 from repro.world.node import Node
 from repro.world.radio import Radio
@@ -98,6 +100,8 @@ def _make_mobility(config: ScenarioConfig) -> MobilityModel:
         return RandomDirection(
             config.n_nodes, config.area, config.speed_range, config.pause_range, **kw
         )
+    if config.mobility == "stationary":
+        return Stationary(config.n_nodes, config.area, **kw)
     if config.mobility == "trace":
         assert config.trace_path is not None
         mobility = read_movement_trace(config.trace_path)
@@ -194,12 +198,23 @@ def build_scenario(config: ScenarioConfig) -> BuiltSimulation:
     ]
     transfer_manager = TransferManager(sim)
     detector = make_detector(config.n_nodes, config.detector)
-    world = World(sim, mobility, nodes, transfer_manager, detector, tick=config.tick)
+    world: World
+    if config.engine_backend == "vector":
+        world = VectorWorld(
+            sim, mobility, nodes, transfer_manager, detector,
+            tick=config.tick, contact_backend=config.contact_backend,
+        )
+    else:
+        world = World(
+            sim, mobility, nodes, transfer_manager, detector, tick=config.tick
+        )
 
     policies, shared = _make_policies(config, sim)
+    batch_eval = config.engine_backend == "vector"
     for node, policy in zip(nodes, policies):
         router = _make_router(config, node, policy)
         router.deliverable_first = config.deliverable_first
+        router.batch_eval = batch_eval
         router.bind(sim, transfer_manager, config.n_nodes, rng=rng)
 
     metrics = MetricsCollector(warmup=config.metrics_warmup)

@@ -17,7 +17,15 @@ from repro.faults.plan import FaultPlan
 from repro.units import kbps, megabytes, minutes
 
 #: Mobility kinds understood by the runner.
-MOBILITY_KINDS = ("rwp", "taxi", "random-walk", "random-direction", "trace")
+MOBILITY_KINDS = (
+    "rwp", "taxi", "random-walk", "random-direction", "stationary", "trace",
+)
+#: Engine backends (see docs/vectorization.md): "scalar" is the per-node
+#: reference implementation, "vector" the struct-of-arrays fast path that
+#: is proven byte-identical by tests/vector/test_equivalence.py.
+ENGINE_BACKENDS = ("scalar", "vector")
+#: Contact kernels the vector backend may use; None picks by fleet size.
+CONTACT_BACKENDS = ("matrix", "grid")
 #: Router kinds understood by the runner.
 ROUTER_KINDS = (
     "snw", "snw-source", "epidemic", "direct", "first-contact", "snf",
@@ -60,6 +68,13 @@ class ScenarioConfig:
     # -- engine --
     tick: float = 1.0
     detector: str | None = None
+    #: "scalar" (reference) or "vector" (struct-of-arrays fast path; same
+    #: events, byte-identical traces — see docs/vectorization.md).
+    engine_backend: str = "scalar"
+    #: Contact kernel for the vector backend: "matrix" (upper-triangle
+    #: broadcast), "grid" (uniform cell binning for large sparse fleets),
+    #: or None to pick by fleet size.  Ignored by the scalar backend.
+    contact_backend: str | None = None
     seed: int = 1
     #: Optional fault model (node churn, link flaps, transfer truncation);
     #: None or a disabled plan runs the paper's ideal conditions.
@@ -116,6 +131,19 @@ class ScenarioConfig:
         if self.snapshot_every < 0:
             raise ConfigurationError(
                 f"snapshot_every must be >= 0: {self.snapshot_every}"
+            )
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown engine_backend {self.engine_backend!r}; "
+                f"expected {ENGINE_BACKENDS}"
+            )
+        if (
+            self.contact_backend is not None
+            and self.contact_backend not in CONTACT_BACKENDS
+        ):
+            raise ConfigurationError(
+                f"unknown contact_backend {self.contact_backend!r}; "
+                f"expected one of {CONTACT_BACKENDS} or None"
             )
 
     def replace(self, **changes: Any) -> "ScenarioConfig":

@@ -16,13 +16,6 @@ ignoring C_i loses information — measurable in the extended benchmarks).
 
 from __future__ import annotations
 
-from repro.core import params as P
-from repro.core.priority import (
-    p_delivered,
-    p_remaining,
-    priority_closed_form,
-    priority_taylor,
-)
 from repro.core.sdsrp import SdsrpPolicy
 from repro.net.message import Message
 
@@ -33,14 +26,8 @@ class GbsdPolicy(SdsrpPolicy):
     name = "gbsd"
     compare_newcomer = True
 
-    def priority(self, message: Message, now: float) -> float:
-        m, n = self._infection(message, now)
-        lam = self._lambda()
-        r = message.remaining_ttl(now)
-        if self.params.priority_form == P.FORM_CLOSED:
-            # copies=1 zeroes the spray-penalty/copy terms of Eq. 10,
-            # leaving Krifa & Barakat's utility.
-            return float(priority_closed_form(1, r, m, n, lam, self._n_nodes))
-        pt = p_delivered(m, self._n_nodes)
-        pr = p_remaining(1, r, n, lam, self._n_nodes)
-        return float(priority_taylor(pt, pr, n, terms=self.params.taylor_terms))
+    def _priority_copies(self, message: Message) -> int:
+        # copies=1 zeroes the spray-penalty/copy terms of Eq. 10, leaving
+        # Krifa & Barakat's utility; both the scalar and the batched ranking
+        # inherit it through this hook.
+        return 1

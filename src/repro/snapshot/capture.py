@@ -41,6 +41,7 @@ from repro.errors import SnapshotError
 from repro.mobility.base import MobilityModel, WaypointEngine
 from repro.mobility.random_direction import RandomDirection
 from repro.mobility.random_walk import RandomWalk
+from repro.mobility.stationary import Stationary
 from repro.mobility.taxi import TaxiFleet
 from repro.mobility.trace import TraceMobility
 from repro.net.message import Message
@@ -143,6 +144,11 @@ def _capture_mobility(mob: MobilityModel) -> dict[str, Any]:
         data["heading"] = encode_array(mob._heading)
         data["speed"] = encode_array(mob._speed)
         data["pause_left"] = encode_array(mob._pause_left)
+        return data
+    if isinstance(mob, Stationary):
+        # Positions may have been drawn from the mobility stream at _setup;
+        # the restored stream is past that draw, so carry them explicitly.
+        data["pos"] = encode_array(mob._pos)
         return data
     raise SnapshotError(
         f"mobility model {type(mob).__name__} is not snapshot-capable"

@@ -46,6 +46,7 @@ from repro.errors import ConfigurationError, SnapshotError
 from repro.mobility.base import WaypointEngine
 from repro.mobility.random_direction import RandomDirection
 from repro.mobility.random_walk import RandomWalk
+from repro.mobility.stationary import Stationary
 from repro.mobility.taxi import TaxiFleet
 from repro.mobility.trace import TraceMobility
 from repro.net.message import Message
@@ -242,6 +243,8 @@ def _restore_mobility(mob: Any, data: dict[str, Any]) -> None:
         mob._speed = decode_array(data["speed"])
         mob._pause_left = decode_array(data["pause_left"])
         return
+    if isinstance(mob, Stationary):
+        return  # _pos (restored above) is the only state
     raise SnapshotError(
         f"mobility model {type(mob).__name__} is not snapshot-capable"
     )

@@ -1,0 +1,36 @@
+"""Struct-of-arrays fast path for the simulation hot loop.
+
+The scalar engine (``repro.world.World`` + per-node routing scans) is the
+reference implementation; this package provides an alternative *engine
+backend* that computes the same per-tick decisions with batched NumPy
+kernels and feeds the **unchanged** per-transfer commit logic, so every
+listener (metrics, sanitizer, snapshots, obs, chaos oracles) sees the
+identical event stream.  Selection is ``ScenarioConfig.engine_backend``
+(``"scalar"`` | ``"vector"``); byte-identity is pinned by the differential
+suite in ``tests/vector/test_equivalence.py``.  See docs/vectorization.md.
+"""
+
+from repro.vector.kernels import (
+    contact_keys_grid,
+    contact_keys_matrix,
+    filter_heterogeneous_keys,
+    key_delta,
+    keys_to_pairs,
+    mask_down_keys,
+    pairs_to_keys,
+    sdsrp_priority_batch,
+)
+from repro.vector.world import VectorWorld, make_contact_kernel
+
+__all__ = [
+    "VectorWorld",
+    "contact_keys_grid",
+    "contact_keys_matrix",
+    "filter_heterogeneous_keys",
+    "key_delta",
+    "keys_to_pairs",
+    "make_contact_kernel",
+    "mask_down_keys",
+    "pairs_to_keys",
+    "sdsrp_priority_batch",
+]

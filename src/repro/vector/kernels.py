@@ -1,0 +1,222 @@
+"""Pure array kernels for the vector engine backend.
+
+Every kernel here is a pure function of its array inputs and is *exactly*
+equivalent — to the last float bit — to a scalar reference the codebase
+already runs:
+
+* the contact kernels reproduce the pairwise ``dx*dx + dy*dy <= r*r``
+  comparison of :class:`repro.world.contacts.BruteForceDetector`, including
+  the boundary tie at exactly ``distance == radius`` (``<=``, never ``<``);
+* :func:`filter_heterogeneous_keys` reproduces
+  ``World._filter_heterogeneous``'s min-of-ranges test;
+* :func:`sdsrp_priority_batch` evaluates the paper's Eqs. 4-13 through the
+  same :mod:`repro.core.priority` ufunc pipeline the scalar policy calls
+  per message — elementwise ufunc application makes batch and scalar
+  results bit-identical, which ``tests/vector/test_kernels.py`` asserts.
+
+Links are encoded as canonical int64 *keys* ``i * n + j`` with ``i < j``;
+ascending key order equals lexicographic ``(i, j)`` tuple order, so sorted
+key arrays iterate link events in exactly the order the scalar world fires
+them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.params import FORM_CLOSED
+from repro.core.priority import (
+    p_delivered,
+    p_remaining,
+    priority_closed_form,
+    priority_taylor,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "contact_keys_grid",
+    "contact_keys_matrix",
+    "filter_heterogeneous_keys",
+    "key_delta",
+    "keys_to_pairs",
+    "mask_down_keys",
+    "pairs_to_keys",
+    "sdsrp_priority_batch",
+    "triu_pairs",
+]
+
+
+@lru_cache(maxsize=8)
+def triu_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached upper-triangle index pair ``(i, j), i < j`` arrays for *n*.
+
+    Row-major order, so ``i * n + j`` is ascending — downstream kernels get
+    sorted key arrays for free.
+    """
+    iu, ju = np.triu_indices(n, k=1)
+    return iu.astype(np.int64), ju.astype(np.int64)
+
+
+def pairs_to_keys(ii: np.ndarray, jj: np.ndarray, n: int) -> np.ndarray:
+    """Canonical int64 keys ``i * n + j`` (inputs must satisfy i < j < n)."""
+    return ii.astype(np.int64) * np.int64(n) + jj.astype(np.int64)
+
+
+def keys_to_pairs(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pairs_to_keys`."""
+    return keys // np.int64(n), keys % np.int64(n)
+
+
+def contact_keys_matrix(positions: np.ndarray, radius: float) -> np.ndarray:
+    """All link keys within *radius*, by upper-triangle broadcast.
+
+    Computes each pairwise distance exactly once (triangle, not the full
+    square matrix) with the same subtract/multiply/add float sequence as
+    the scalar detector, so the boundary tie behaves identically.
+    """
+    check_positions(positions, radius)
+    n = positions.shape[0]
+    if n < 2:
+        return np.empty(0, dtype=np.int64)
+    iu, ju = triu_pairs(n)
+    diff = positions[iu] - positions[ju]
+    d2 = np.einsum("ij,ij->i", diff, diff)
+    close = d2 <= radius * radius
+    return pairs_to_keys(iu[close], ju[close], n)
+
+
+def contact_keys_grid(positions: np.ndarray, radius: float) -> np.ndarray:
+    """All link keys within *radius*, by uniform cell binning.
+
+    Cell size equals the radius, so candidates live in the 3x3 cell
+    neighborhood; scanning the cell itself plus the forward half of its
+    8-neighborhood visits every adjacent cell pair once.  ~O(N) for fleets
+    spread over an area much larger than the radius; returns the exact
+    same sorted key array as :func:`contact_keys_matrix`.
+    """
+    check_positions(positions, radius)
+    n = positions.shape[0]
+    if n < 2:
+        return np.empty(0, dtype=np.int64)
+    cells = np.floor(positions / radius).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for idx in range(n):
+        buckets.setdefault((int(cells[idx, 0]), int(cells[idx, 1])), []).append(idx)
+
+    forward = ((1, 0), (1, 1), (0, 1), (-1, 1))
+    cand_a: list[int] = []
+    cand_b: list[int] = []
+    for (cx, cy), members in buckets.items():
+        for a_pos, a in enumerate(members):
+            for b in members[a_pos + 1 :]:
+                cand_a.append(a)
+                cand_b.append(b)
+        for dx, dy in forward:
+            other = buckets.get((cx + dx, cy + dy))
+            if not other:
+                continue
+            for a in members:
+                for b in other:
+                    cand_a.append(a)
+                    cand_b.append(b)
+    if not cand_a:
+        return np.empty(0, dtype=np.int64)
+    ia = np.asarray(cand_a, dtype=np.int64)
+    ib = np.asarray(cand_b, dtype=np.int64)
+    lo = np.minimum(ia, ib)
+    hi = np.maximum(ia, ib)
+    # Same float sequence as the matrix kernel: positions[i] - positions[j]
+    # with i < j, then squared — so the radius boundary tie agrees exactly.
+    diff = positions[lo] - positions[hi]
+    close = np.einsum("ij,ij->i", diff, diff) <= radius * radius
+    keys = pairs_to_keys(lo[close], hi[close], n)
+    keys.sort()
+    return keys
+
+
+def filter_heterogeneous_keys(
+    keys: np.ndarray, n: int, positions: np.ndarray, ranges: np.ndarray
+) -> np.ndarray:
+    """Keep keys within the *smaller* of the two endpoints' radio ranges.
+
+    Vectorized twin of ``World._filter_heterogeneous`` (same ``<=`` on the
+    squared min-range).
+    """
+    if keys.size == 0:
+        return keys
+    ii, jj = keys_to_pairs(keys, n)
+    limit = np.minimum(ranges[ii], ranges[jj])
+    diff = positions[ii] - positions[jj]
+    d2 = np.einsum("ij,ij->i", diff, diff)
+    return keys[d2 <= limit * limit]
+
+
+def mask_down_keys(keys: np.ndarray, n: int, down_nodes: set[int]) -> np.ndarray:
+    """Discard keys touching any offline node (fault injection)."""
+    if keys.size == 0 or not down_nodes:
+        return keys
+    down = np.fromiter(sorted(down_nodes), dtype=np.int64)
+    ii, jj = keys_to_pairs(keys, n)
+    alive = ~(np.isin(ii, down) | np.isin(jj, down))
+    return keys[alive]
+
+
+def key_delta(
+    old_keys: np.ndarray, new_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(downs, ups)``: keys leaving and keys entering, both ascending.
+
+    Both inputs must be sorted and duplicate-free (the contact kernels
+    guarantee this).  Equivalent to the scalar world's
+    ``sorted(old - new)`` / ``sorted(new - old)`` set differences.
+    """
+    # Most ticks rewire nothing: sorted-unique arrays are equal iff the
+    # link sets are, so one cheap comparison skips both set differences.
+    if old_keys.size == new_keys.size and np.array_equal(old_keys, new_keys):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    downs = old_keys[~np.isin(old_keys, new_keys, assume_unique=True)]
+    ups = new_keys[~np.isin(new_keys, old_keys, assume_unique=True)]
+    return downs, ups
+
+
+def sdsrp_priority_batch(
+    copies: np.ndarray,
+    remaining_ttl: np.ndarray,
+    m_seen: np.ndarray,
+    n_holders: np.ndarray,
+    lam: float,
+    n_nodes: int,
+    priority_form: str = FORM_CLOSED,
+    taylor_terms: int = 8,
+) -> np.ndarray:
+    """Batched SDSRP priority U_i (paper Eq. 10, or the Eq. 13 truncation).
+
+    One ufunc pass over a whole message population; per-element results are
+    bit-identical to :meth:`repro.core.sdsrp.SdsrpPolicy.priority` calling
+    the same :mod:`repro.core.priority` functions with scalars.
+    """
+    if priority_form == FORM_CLOSED:
+        return np.asarray(
+            priority_closed_form(
+                copies, remaining_ttl, m_seen, n_holders, lam, n_nodes
+            ),
+            dtype=float,
+        )
+    pt = p_delivered(m_seen, n_nodes)
+    pr = p_remaining(copies, remaining_ttl, n_holders, lam, n_nodes)
+    return np.asarray(
+        priority_taylor(pt, pr, n_holders, terms=taylor_terms), dtype=float
+    )
+
+
+def check_positions(positions: np.ndarray, radius: float) -> None:
+    """Shared input validation for the contact kernels."""
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive: {radius}")
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ConfigurationError(
+            f"positions must have shape (N, 2), got {positions.shape}"
+        )

@@ -12,6 +12,7 @@ the grid and KD-tree detectors scale to large fleets (micro-benchmarked in
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from functools import lru_cache
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -19,6 +20,15 @@ from scipy.spatial import cKDTree
 from repro.errors import ConfigurationError
 
 PairSet = set[tuple[int, int]]
+
+
+# Local twin of repro.vector.kernels.triu_pairs: importing it here would
+# cycle (repro.vector -> vector.world -> world.contacts), so the cache is
+# duplicated rather than shared.
+@lru_cache(maxsize=8)
+def _triu_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    iu, ju = np.triu_indices(n, k=1)
+    return iu.astype(np.int64), ju.astype(np.int64)
 
 
 class ContactDetector(ABC):
@@ -39,18 +49,27 @@ class ContactDetector(ABC):
 
 
 class BruteForceDetector(ContactDetector):
-    """O(N^2) vectorized pairwise distances — fastest for small fleets."""
+    """O(N^2) vectorized pairwise distances — fastest for small fleets.
+
+    Works on the upper triangle only: each of the N(N-1)/2 pairs is
+    computed once, with the same ``positions[i] - positions[j]`` (i < j)
+    float sequence as before the dedupe, so detections — including exact
+    radius-boundary ties — are unchanged while the full N x N broadcast
+    (twice the work plus an N^2 masking pass) is gone.
+    """
 
     def pairs(self, positions: np.ndarray, radius: float) -> PairSet:
         self._check(positions, radius)
         n = positions.shape[0]
         if n < 2:
             return set()
-        diff = positions[:, None, :] - positions[None, :, :]
-        d2 = np.einsum("ijk,ijk->ij", diff, diff)
-        mask = np.triu(d2 <= radius * radius, k=1)
-        ii, jj = np.nonzero(mask)
-        return {(int(i), int(j)) for i, j in zip(ii, jj)}
+        iu, ju = _triu_pairs(n)
+        diff = positions[iu] - positions[ju]
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        close = d2 <= radius * radius
+        return {
+            (int(i), int(j)) for i, j in zip(iu[close], ju[close])
+        }
 
 
 class GridDetector(ContactDetector):

@@ -96,6 +96,15 @@ class World:
                 self._link_up(self.nodes[i], self.nodes[j])
             self.links = new_links
 
+        self._routing_phase(now)
+
+    def _routing_phase(self, now: float) -> None:
+        """TTL purge, observer notification, idle-sender retries.
+
+        Shared tail of the tick, identical for every engine backend (the
+        vector world overrides :meth:`update` but runs this unchanged).
+        """
+        profiler = self.sim.profiler
         with timed(profiler, "routing"):
             for node in self.nodes:
                 if node.router is not None:

@@ -1,0 +1,84 @@
+"""The backend-identity oracle: scalar vs vector divergence is a finding.
+
+Mutation-style coverage for the cross-backend metamorphic check: a healthy
+simulator passes it silently, while a deliberately broken vector contact
+kernel is caught, verified by its own cross-backend replay (not downgraded
+to a failure-replay record) and written to the corpus as a replayable
+backend-identity entry.
+"""
+
+from __future__ import annotations
+
+import repro.vector.world as vector_world
+from repro.chaos.corpus import load_corpus, replay_reproduces
+from repro.chaos.fuzzer import fuzz
+from repro.chaos.oracles import ORACLE_BACKEND
+from repro.chaos.runner import check_backend_identity
+from tests.chaos.conftest import fast_space, tiny_case
+
+
+def break_vector_contacts(monkeypatch):
+    """Make the vector engine drop the last in-range pair each tick."""
+    real = vector_world.contact_keys_matrix
+
+    def lossy(positions, radius):
+        keys = real(positions, radius)
+        return keys[:-1] if keys.size else keys
+
+    # VectorWorld resolves the kernel through make_contact_kernel at build
+    # time, which reads the module globals patched here.
+    monkeypatch.setattr(vector_world, "contact_keys_matrix", lossy)
+
+
+class TestCheckBackendIdentity:
+    def test_healthy_case_passes_both_directions(self):
+        for backend in ("scalar", "vector"):
+            case = tiny_case(engine_backend=backend)
+            assert check_backend_identity(case) is None
+
+    def test_broken_vector_kernel_is_detected(self, monkeypatch):
+        break_vector_contacts(monkeypatch)
+        failure = check_backend_identity(tiny_case(engine_backend="vector"))
+        assert failure is not None
+        assert failure.oracle == ORACLE_BACKEND
+        assert failure.invariant == "backend-identity"
+
+
+class TestFuzzCampaign:
+    def test_healthy_campaign_counts_the_oracle_and_stays_clean(self):
+        report = fuzz(
+            4,
+            seed=1201,
+            space=fast_space(),
+            metamorphic_every=1,
+            shrink_failures=False,
+        )
+        assert report.checks.get(ORACLE_BACKEND, 0) == 4
+        assert report.ok, [f.failure.as_dict() for f in report.findings]
+
+    def test_broken_vector_engine_is_found_and_recorded(
+        self, monkeypatch, tmp_path
+    ):
+        break_vector_contacts(monkeypatch)
+        report = fuzz(
+            4,
+            seed=1201,
+            space=fast_space(),
+            corpus_dir=str(tmp_path),
+            metamorphic_every=1,
+            shrink_failures=False,
+        )
+        findings = [
+            f for f in report.findings if f.failure.oracle == ORACLE_BACKEND
+        ]
+        assert findings, "no backend-identity finding on a broken engine"
+        # Verified by the cross-backend replay, not downgraded.
+        assert all(f.replay_confirmed for f in findings)
+        entries = load_corpus(tmp_path)
+        assert any(
+            e["failure"]["oracle"] == ORACLE_BACKEND for _, e in entries
+        )
+        # ... and with the engine still broken, the entry reproduces.
+        for _, entry in entries:
+            if entry["failure"]["oracle"] == ORACLE_BACKEND:
+                assert replay_reproduces(entry)

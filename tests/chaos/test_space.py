@@ -54,6 +54,28 @@ class TestRanges:
             assert case.router == "snw"
             assert case.policy == "fifo"
 
+    def test_both_engine_backends_are_sampled(self):
+        backends = {
+            sample_case(ChaosSpace(), 6, i).engine_backend for i in range(30)
+        }
+        assert backends == {"scalar", "vector"}
+
+    def test_backend_axis_can_be_restricted(self):
+        space = fast_space(engine_backends=("vector",))
+        for i in range(10):
+            assert sample_case(space, 2, i).engine_backend == "vector"
+
+    def test_backend_draw_does_not_shift_earlier_axes(self):
+        """The backend is drawn last: every other field of a case must be
+        unchanged from what a backend-free space would have produced, so
+        pre-existing corpus entries keep their (seed, index) identity."""
+        wide = ChaosSpace()
+        narrow = ChaosSpace(engine_backends=("scalar",))
+        for i in range(15):
+            a = sample_case(wide, 4, i).replace(engine_backend="scalar")
+            b = sample_case(narrow, 4, i)
+            assert a == b
+
 
 class TestFaultPlans:
     def test_events_are_valid_and_time_sorted(self):

@@ -1,0 +1,285 @@
+"""Seeded property tests for the vector kernels (no Hypothesis).
+
+Each property is checked against a *pure-Python* scalar reference over a
+seeded grid of random inputs plus hand-built adversarial cases (exact
+radius-boundary ties, empty inputs, all-pairs-connected cliques).  The
+contract everywhere is **exact** equality — same keys, same floats to the
+last bit — because the whole vector backend rests on these kernels being
+drop-in replacements for the scalar arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import FORM_CLOSED, FORM_TAYLOR
+from repro.core.priority import (
+    p_delivered,
+    p_remaining,
+    priority_closed_form,
+    priority_taylor,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_scenario, run_built
+from repro.rng import RngFactory
+from repro.vector.kernels import (
+    contact_keys_grid,
+    contact_keys_matrix,
+    filter_heterogeneous_keys,
+    key_delta,
+    keys_to_pairs,
+    mask_down_keys,
+    pairs_to_keys,
+    sdsrp_priority_batch,
+    triu_pairs,
+)
+from tests.obs.conftest import tiny_config
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    return RngFactory(seed).stream("tests.vector.kernels")
+
+
+def reference_contact_keys(positions: np.ndarray, radius: float) -> list[int]:
+    """O(n^2) per-pair loop with the scalar detector's float sequence:
+    ``positions[i] - positions[j]`` (i < j), squared, compared with ``<=``."""
+    n = positions.shape[0]
+    keys = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = positions[i] - positions[j]
+            if float(diff @ diff) <= radius * radius:
+                keys.append(i * n + j)
+    return keys
+
+
+# -- key encoding ------------------------------------------------------------
+
+
+class TestKeyEncoding:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pairs_keys_roundtrip(self, seed):
+        rng = rng_for(seed)
+        n = int(rng.integers(2, 200))
+        m = int(rng.integers(1, 50))
+        ii = rng.integers(0, n - 1, size=m)
+        jj = rng.integers(ii + 1, n)
+        keys = pairs_to_keys(ii, jj, n)
+        back_i, back_j = keys_to_pairs(keys, n)
+        assert np.array_equal(back_i, ii) and np.array_equal(back_j, jj)
+
+    def test_key_order_is_lexicographic_pair_order(self):
+        """Ascending keys == sorted (i, j) tuples: the property the event
+        ordering of the vector world is built on."""
+        n = 17
+        iu, ju = triu_pairs(n)
+        keys = pairs_to_keys(iu, ju, n)
+        assert np.all(np.diff(keys) > 0)
+        pairs = list(zip(iu.tolist(), ju.tolist()))
+        assert pairs == sorted(pairs)
+
+
+# -- contact kernels ---------------------------------------------------------
+
+
+class TestContactKernels:
+    @pytest.mark.parametrize("kernel", [contact_keys_matrix, contact_keys_grid])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_reference_loop(self, kernel, seed):
+        rng = rng_for(seed)
+        for n in (2, 7, 33, 64):
+            positions = rng.uniform(0.0, 1000.0, size=(n, 2))
+            # Radii spanning "almost no contacts" to "full clique".
+            for radius in (10.0, 120.0, 2000.0):
+                got = kernel(positions, radius)
+                want = reference_contact_keys(positions, radius)
+                assert got.tolist() == want, (kernel.__name__, n, radius)
+
+    @pytest.mark.parametrize("kernel", [contact_keys_matrix, contact_keys_grid])
+    def test_boundary_tie_is_inclusive(self, kernel):
+        """Nodes at *exactly* the radius are in contact (<=, never <) —
+        including a pair that straddles a grid-cell boundary."""
+        radius = 100.0
+        positions = np.array([
+            [0.0, 0.0],
+            [radius, 0.0],        # exactly on the boundary, cell neighbor
+            [0.0, radius],        # exactly on the boundary, other axis
+            [250.0, 250.0],       # isolated
+            [250.0 + radius, 250.0],  # tie with the isolated node
+        ])
+        got = kernel(positions, radius)
+        want = reference_contact_keys(positions, radius)
+        n = positions.shape[0]
+        assert got.tolist() == want
+        ties = pairs_to_keys(np.array([0, 0, 3]), np.array([1, 2, 4]), n)
+        assert set(ties.tolist()) <= set(got.tolist()), (
+            "exact-boundary pairs must count as contacts"
+        )
+
+    @pytest.mark.parametrize("kernel", [contact_keys_matrix, contact_keys_grid])
+    def test_degenerate_inputs(self, kernel):
+        one = np.zeros((1, 2))
+        assert kernel(one, 10.0).size == 0
+        clique = np.zeros((5, 2))  # all nodes stacked: full clique
+        assert kernel(clique, 1.0).size == 10
+
+    @pytest.mark.parametrize("kernel", [contact_keys_matrix, contact_keys_grid])
+    def test_bad_inputs_raise(self, kernel):
+        good = np.zeros((3, 2))
+        with pytest.raises(ConfigurationError, match="radius"):
+            kernel(good, 0.0)
+        with pytest.raises(ConfigurationError, match="shape"):
+            kernel(np.zeros((3, 3)), 10.0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_grid_equals_matrix_exactly(self, seed):
+        rng = rng_for(seed)
+        positions = rng.uniform(0.0, 5000.0, size=(150, 2))
+        a = contact_keys_matrix(positions, 100.0)
+        b = contact_keys_grid(positions, 100.0)
+        assert np.array_equal(a, b)
+
+
+# -- filters -----------------------------------------------------------------
+
+
+class TestFilters:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_heterogeneous_filter_matches_scalar(self, seed):
+        """Same min-of-ranges test as ``World._filter_heterogeneous``."""
+        rng = rng_for(seed)
+        n = 40
+        positions = rng.uniform(0.0, 500.0, size=(n, 2))
+        ranges = rng.uniform(50.0, 150.0, size=n)
+        keys = contact_keys_matrix(positions, float(ranges.max()))
+        got = filter_heterogeneous_keys(keys, n, positions, ranges)
+        want = []
+        for key in keys.tolist():
+            i, j = key // n, key % n
+            limit = min(ranges[i], ranges[j])
+            diff = positions[i] - positions[j]
+            if float(diff @ diff) <= limit * limit:
+                want.append(key)
+        assert got.tolist() == want
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mask_down_keys_matches_set_ops(self, seed):
+        rng = rng_for(seed)
+        n = 30
+        positions = rng.uniform(0.0, 400.0, size=(n, 2))
+        keys = contact_keys_matrix(positions, 120.0)
+        down = set(int(x) for x in rng.integers(0, n, size=5))
+        got = mask_down_keys(keys, n, down)
+        want = [
+            k for k in keys.tolist() if k // n not in down and k % n not in down
+        ]
+        assert got.tolist() == want
+        assert mask_down_keys(keys, n, set()) is keys
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_key_delta_matches_set_differences(self, seed):
+        rng = rng_for(seed)
+        universe = np.arange(200, dtype=np.int64)
+        old = np.sort(rng.choice(universe, size=60, replace=False))
+        new = np.sort(rng.choice(universe, size=70, replace=False))
+        downs, ups = key_delta(old, new)
+        assert downs.tolist() == sorted(set(old.tolist()) - set(new.tolist()))
+        assert ups.tolist() == sorted(set(new.tolist()) - set(old.tolist()))
+
+    def test_key_delta_fast_path_and_edges(self):
+        same = np.array([3, 5, 9], dtype=np.int64)
+        downs, ups = key_delta(same, same.copy())  # zero-churn fast path
+        assert downs.size == 0 and ups.size == 0
+        empty = np.empty(0, dtype=np.int64)
+        downs, ups = key_delta(empty, same)
+        assert downs.size == 0 and ups.tolist() == [3, 5, 9]
+        downs, ups = key_delta(same, empty)
+        assert downs.tolist() == [3, 5, 9] and ups.size == 0
+
+
+# -- batched SDSRP priority --------------------------------------------------
+
+
+class TestSdsrpPriorityBatch:
+    def sample(self, rng, size):
+        copies = rng.integers(1, 33, size=size)
+        remaining = rng.uniform(0.0, 18000.0, size=size)
+        m_seen = rng.integers(0, 10, size=size)
+        n_holders = np.maximum(1, m_seen + 1 - rng.integers(0, 3, size=size))
+        return copies, remaining, m_seen, n_holders
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_closed_form_is_bit_identical_to_scalar(self, seed):
+        rng = rng_for(seed)
+        copies, remaining, m_seen, n_holders = self.sample(rng, 200)
+        lam, n_nodes = 0.0004, 100
+        batch = sdsrp_priority_batch(
+            copies, remaining, m_seen, n_holders, lam, n_nodes,
+            priority_form=FORM_CLOSED,
+        )
+        scalar = [
+            float(priority_closed_form(
+                int(c), float(r), int(m), int(n), lam, n_nodes
+            ))
+            for c, r, m, n in zip(copies, remaining, m_seen, n_holders)
+        ]
+        assert batch.tolist() == scalar  # exact, not approx
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_taylor_form_is_bit_identical_to_scalar(self, seed):
+        rng = rng_for(seed)
+        copies, remaining, m_seen, n_holders = self.sample(rng, 200)
+        lam, n_nodes, terms = 0.0004, 100, 8
+        batch = sdsrp_priority_batch(
+            copies, remaining, m_seen, n_holders, lam, n_nodes,
+            priority_form=FORM_TAYLOR, taylor_terms=terms,
+        )
+        scalar = []
+        for c, r, m, n in zip(copies, remaining, m_seen, n_holders):
+            pt = p_delivered(int(m), n_nodes)
+            pr = p_remaining(int(c), float(r), int(n), lam, n_nodes)
+            scalar.append(float(priority_taylor(pt, pr, int(n), terms=terms)))
+        assert batch.tolist() == scalar
+
+    def test_empty_batch(self):
+        empty = np.empty(0)
+        out = sdsrp_priority_batch(empty, empty, empty, empty, 0.001, 10)
+        assert out.size == 0
+
+
+# -- the policy's batch entry points, on real simulation state ---------------
+
+
+class TestPolicyBatchOnRealBuffers:
+    """``SdsrpPolicy.priorities`` (and the GBSD subclass) must equal the
+    per-message ``priority`` calls on buffers produced by an actual run —
+    real spray lineages, real drop histories, real TTLs."""
+
+    @pytest.mark.parametrize("policy", ["sdsrp", "gbsd"])
+    def test_batch_equals_scalar_on_run_state(self, policy):
+        built = build_scenario(tiny_config(
+            router="snw", policy=policy, engine_backend="vector"
+        ))
+        run_built(built)
+        now = built.sim.now
+        checked = 0
+        for node in built.nodes:
+            messages = list(node.buffer)
+            if not messages:
+                continue
+            pol = node.router.policy
+            assert pol.batchable
+            batch = pol.priorities(messages, now)
+            scalar = [pol.priority(m, now) for m in messages]
+            assert batch == scalar  # exact float equality
+            assert pol.send_priorities(messages, now) == [
+                pol.send_priority(m, now) for m in messages
+            ]
+            assert pol.drop_priorities(messages, now) == [
+                pol.drop_priority(m, now) for m in messages
+            ]
+            checked += len(messages)
+        assert checked > 0, "no node ended the run with a non-empty buffer"
