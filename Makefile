@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-deep sanitize-smoke obs-smoke chaos-smoke service-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
+.PHONY: install test lint lint-deep sanitize-smoke obs-smoke chaos-smoke analytic-smoke service-smoke determinism snapshot-roundtrip bench figures-full fig3 fig4 examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,8 @@ lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src tests benchmarks
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy src/repro/core src/repro/net src/repro/policies; \
+		MYPYPATH=src:tools $(PYTHON) -m mypy --strict --follow-imports=silent \
+			src/repro/rng.py src/repro/units.py src/repro/analytic tools/reprolint; \
 	else \
 		echo "mypy not installed; skipping type check (CI runs it)"; \
 	fi
@@ -47,6 +49,15 @@ obs-smoke:
 # fresh seeds.  Exits non-zero (and shrinks a reproducer) on any finding.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.chaos --iterations 25 --seed 1 --budget-seconds 60
+
+# Analytic layer (docs/analytic.md): fixed-seed analytic + hybrid runs
+# through the real CLI, the analytic-vs-simulator cross-validation suite,
+# and a reduced fig-validate sweep (simulated curves + analytic overlay).
+analytic-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy fifo --reduced --engine analytic --seed 1
+	PYTHONPATH=src $(PYTHON) -m repro.experiments run --scenario rwp --policy fifo --reduced --engine hybrid --seed 1
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/analytic
+	PYTHONPATH=src $(PYTHON) -m repro.experiments fig-validate --axis copies --policies fifo sdsrp --workers 1 --json fig-validate.json
 
 # Service layer (docs/service.md): the kill-recovery proof — serve a batch
 # through the real CLI, SIGKILL it mid-run, re-serve against the same root,
@@ -99,5 +110,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
-	rm -f *.ckpt.jsonl obs-metrics.json obs-trace.jsonl
+	rm -f *.ckpt.jsonl obs-metrics.json obs-trace.jsonl fig-validate.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,108 @@
+"""Analytic backend benchmarks: query latency at scale and honest speedup.
+
+Two kinds of numbers, recorded into ``bench_results.json``:
+
+* **query latency** — wall time of one full analytic evaluation
+  (meeting rate, delay-model build including the blocking fixed point,
+  RunSummary rendering) at fleet sizes no discrete simulator could touch:
+  1 k, 100 k and 1 M nodes.  The spray chain is truncated at 512 states
+  and propagated by matrix exponential, so cost is *flat* in N — the
+  1 M-node query carries a hard <50 ms gate (ISSUE 9 acceptance).
+* **sim-vs-analytic speedup** — the same 20-node Table-II scenario on the
+  scalar simulator and on the analytic backend.  The ratio is what a
+  parameter sweep saves per grid point by switching engines; it divides
+  two numbers from the same machine and run, so it is hardware-portable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import best_of, run_once
+from repro.analytic.runner import run_analytic
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+#: Hard latency gate for the largest fleet (ISSUE 9 acceptance criterion).
+MAX_QUERY_SECONDS_1M = 0.050
+
+_measured: dict[str, float] = {}
+
+
+def analytic_config(n_nodes: int, backend: str = "analytic") -> ScenarioConfig:
+    """Table-II-flavoured RWP spray scenario at density ~5 nodes/km²."""
+    side = 350.0 * float(n_nodes) ** 0.5
+    return ScenarioConfig(
+        name=f"bench-analytic-{n_nodes}",
+        n_nodes=n_nodes,
+        sim_time=6000.0,
+        mobility="rwp",
+        area=(side, side),
+        speed_range=(2.0, 3.0),
+        pause_range=(0.0, 10.0),
+        radio_range=100.0,
+        buffer_bytes=40 * 10_000,
+        message_size=10_000,
+        interval_range=(50.0, 70.0),
+        ttl=3000.0,
+        initial_copies=16,
+        router="snw",
+        policy="fifo",
+        engine_backend=backend,
+        seed=1,
+    )
+
+
+@pytest.mark.benchmark(group="analytic-query")
+@pytest.mark.parametrize("n_nodes", [1_000, 100_000, 1_000_000])
+def test_query_latency(benchmark, record_figure, n_nodes):
+    """One full analytic evaluation; flat in fleet size by construction."""
+    config = analytic_config(n_nodes)
+
+    def query():
+        return run_analytic(config).summary()
+
+    summary = run_once(benchmark, query)
+    assert 0.0 < summary.delivery_ratio <= 1.0
+    seconds = best_of(query)
+    _measured[f"query_seconds_n{n_nodes}"] = seconds
+    if n_nodes == 1_000_000:
+        assert seconds < MAX_QUERY_SECONDS_1M, (
+            f"1M-node analytic query took {seconds * 1e3:.1f} ms "
+            f"(gate: {MAX_QUERY_SECONDS_1M * 1e3:.0f} ms)"
+        )
+    record_figure(
+        "analytic_query_latency",
+        {
+            "figure": "analytic-query-latency",
+            "x_label": "fleet size (nodes)",
+            "gate_seconds_1M": MAX_QUERY_SECONDS_1M,
+            "measurements": dict(_measured),
+        },
+    )
+
+
+@pytest.mark.benchmark(group="analytic-speedup")
+def test_sim_vs_analytic_speedup(benchmark, record_figure):
+    """Scalar simulator vs analytic expectation on the same 20-node case."""
+    sim_config = analytic_config(20, backend="scalar")
+    ana_config = analytic_config(20)
+
+    sim_seconds = best_of(lambda: run_scenario(sim_config), repeats=2)
+    ana_seconds = run_once(benchmark, lambda: best_of(
+        lambda: run_scenario(ana_config)
+    ))
+    speedup = sim_seconds / ana_seconds
+    # The analytic query must beat the discrete run by a wide margin —
+    # that headroom is the whole point of the surrogate.
+    assert speedup > 10.0
+    record_figure(
+        "analytic_speedup",
+        {
+            "figure": "analytic-vs-scalar-speedup",
+            "scenario": "table2-rwp-20n-snw",
+            "scalar_seconds": sim_seconds,
+            "analytic_seconds": ana_seconds,
+            "speedup": speedup,
+        },
+    )

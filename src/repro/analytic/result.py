@@ -1,0 +1,281 @@
+"""Render analytic model output into the simulator's reporting shapes.
+
+An :class:`AnalyticResult` pairs a scenario config with its fitted
+:class:`~repro.analytic.model.DelayModel` and meeting-rate provenance, and
+renders two existing shapes:
+
+* :meth:`AnalyticResult.summary` — a
+  :class:`~repro.reports.summary.RunSummary` whose counters are the model's
+  *expectations* (rounded where the simulator reports integers).  Sweeps,
+  tables, figures, checkpoint files and the ``repro.service`` result cache
+  consume it without knowing a simulation never ran.
+* :meth:`AnalyticResult.timeseries` — a payload with exactly the
+  :class:`~repro.obs.timeseries.TimeSeriesCollector` export schema
+  (``columns``/``samples``/``histograms``), so ``--obs-out`` files from the
+  analytic backend parse with :func:`repro.obs.timeseries.read_timeseries_json`
+  and plot with the same tooling.
+
+Everything here is closed-form arithmetic on the model's cached integrals;
+repeated evaluation of the same config is bit-identical, which is what
+lets the service cache serve analytic results byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analytic.meeting import MeetingRate
+from repro.analytic.model import DelayModel
+from repro.experiments.scenario import ScenarioConfig
+from repro.net.outcomes import DROP_REASONS
+from repro.obs.timeseries import (
+    DURATION_EDGES,
+    LATENCY_EDGES,
+    TimeSeriesCollector,
+)
+from repro.reports.summary import RunSummary
+
+__all__ = ["AnalyticResult"]
+
+#: Default sample cadence (sim seconds) for :meth:`AnalyticResult.timeseries`
+#: when the config does not set ``obs_interval``.
+DEFAULT_OBS_INTERVAL = 60.0
+
+
+@dataclass(frozen=True)
+class AnalyticResult:
+    """One analytic evaluation of a scenario config."""
+
+    config: ScenarioConfig
+    meeting: MeetingRate
+    model: DelayModel
+    #: Epidemic buffer-blocking factor ρ (0 for spray models).
+    blocking: float = 0.0
+    #: Wall-clock seconds the evaluation took (diagnostic only).
+    wall_seconds: float = 0.0
+
+    # -- building blocks -----------------------------------------------------
+
+    @property
+    def gen_rate(self) -> float:
+        """Fleet-wide message-creation rate γ (messages per second)."""
+        lo, hi = self.config.interval_range
+        return 2.0 / (lo + hi)
+
+    @property
+    def window(self) -> float:
+        """W = min(TTL, horizon) — the widest per-message window."""
+        return min(self.config.ttl, self.config.sim_time, self.model.window)
+
+    @property
+    def expected_created(self) -> float:
+        return self.gen_rate * self.config.sim_time
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.model.horizon_delivery_ratio(
+            self.config.sim_time, self.config.ttl
+        )
+
+    @property
+    def average_latency(self) -> float:
+        return self.model.horizon_mean_delay(
+            self.config.sim_time, self.config.ttl
+        )
+
+    def _spread_per_message(self, window: float) -> float:
+        """Expected completed relay transfers (excluding the delivery hop)
+        for a message with residual window *window*: each copy beyond the
+        first cost exactly one transfer."""
+        return max(0.0, self.model.copies_at(window) - 1.0)
+
+    def avg_spread(self) -> float:
+        """Horizon average of :meth:`_spread_per_message` over creation times."""
+        horizon = self.config.sim_time
+        w = self.window
+        inner = self.model.int_copies(w) - w
+        tail = (horizon - w) * self._spread_per_message(w)
+        return max(0.0, (inner + tail) / horizon)
+
+    # -- summary -------------------------------------------------------------
+
+    def summary(self) -> RunSummary:
+        config = self.config
+        created = round(self.expected_created)
+        ratio = self.delivery_ratio
+        delivered = round(created * ratio)
+        relayed = round(created * self.avg_spread()) + delivered
+        pairs = config.n_nodes * (config.n_nodes - 1) / 2.0
+        contacts = round(self.meeting.rate * pairs * config.sim_time)
+        overhead = (
+            (relayed - delivered) / delivered if delivered else float("nan")
+        )
+        # Match MetricsCollector semantics: per-delivery averages are NaN
+        # when the (rounded) expectation delivers nothing.
+        latency = self.average_latency if delivered else float("nan")
+        hops = self.model.mean_hops(self.window) if delivered else float("nan")
+        return RunSummary(
+            scenario=config.name,
+            policy=config.policy,
+            seed=config.seed,
+            sim_time=config.sim_time,
+            initial_copies=config.initial_copies,
+            buffer_bytes=config.buffer_bytes,
+            interval_range=config.interval_range,
+            created=created,
+            delivered=delivered,
+            relayed=relayed,
+            delivery_ratio=ratio,
+            average_hopcount=hops,
+            overhead_ratio=overhead,
+            average_latency=latency,
+            drops={},
+            faults={},
+            contacts=contacts,
+            mean_intermeeting=self.meeting.mean_intermeeting,
+            wall_seconds=self.wall_seconds,
+            profile={},
+        )
+
+    # -- timeseries ----------------------------------------------------------
+
+    def _delivered_by(self, now: float) -> float:
+        """Expected deliveries completed by absolute time *now*."""
+        w = min(now, self.window)
+        tail = max(0.0, now - self.window) * self.model.ratio_at(self.window)
+        return self.gen_rate * (self.model.int_cdf(w) + tail)
+
+    def _relayed_by(self, now: float) -> float:
+        """Expected completed transfers by *now* (spread + delivery hops)."""
+        w = min(now, self.window)
+        spread = self.model.int_copies(w) - w
+        tail = max(0.0, now - self.window) * self._spread_per_message(
+            self.window
+        )
+        return self.gen_rate * max(0.0, spread + tail) + self._delivered_by(now)
+
+    def _live_copies(self, now: float) -> float:
+        """Expected fleet-wide live copies at *now* (TTL-expired excluded)."""
+        w = min(now, self.window)
+        return self.gen_rate * self.model.int_copies(w)
+
+    def _histogram(
+        self, edges: tuple[float, ...], counts: list[int], n: int, mean: float
+    ) -> dict[str, Any]:
+        return {
+            "edges": list(edges),
+            "counts": counts,
+            "n": n,
+            "mean": mean,
+        }
+
+    def _latency_histogram(self, delivered: int) -> dict[str, Any]:
+        """Delivered-latency histogram straight from the model CDF."""
+        w = self.window
+        bound = self.model.ratio_at(w)
+        counts: list[int] = []
+        # Cumulative rounding so the bin counts telescope to exactly
+        # *delivered* (per-bin rounding can over- or undershoot the total).
+        prev_cum = 0
+        for edge in LATENCY_EDGES:
+            mass = min(bound, self.model.ratio_at(min(edge, w)))
+            cum = round(delivered * mass / bound) if bound > 0 else 0
+            counts.append(cum - prev_cum)
+            prev_cum = cum
+        counts.append(max(0, delivered - prev_cum))
+        mean = self.average_latency if delivered else 0.0
+        return self._histogram(
+            LATENCY_EDGES, counts, delivered, mean if delivered else 0.0
+        )
+
+    def _duration_histogram(self, relayed: int) -> dict[str, Any]:
+        """Transfer durations are deterministic: size / bandwidth."""
+        duration = self.config.message_size / self.config.bandwidth
+        counts = [0] * (len(DURATION_EDGES) + 1)
+        slot = len(DURATION_EDGES)
+        for idx, edge in enumerate(DURATION_EDGES):
+            if duration <= edge:
+                slot = idx
+                break
+        counts[slot] = relayed
+        return self._histogram(DURATION_EDGES, counts, relayed, duration)
+
+    def timeseries(self, interval: float | None = None) -> dict[str, Any]:
+        """The :meth:`TimeSeriesCollector.as_dict` payload, from the model."""
+        if interval is None:
+            interval = (
+                self.config.obs_interval
+                if self.config.obs_interval > 0
+                else DEFAULT_OBS_INTERVAL
+            )
+        horizon = self.config.sim_time
+        sample_times = [
+            interval * k for k in range(1, int(horizon / interval) + 1)
+        ]
+        if not sample_times or horizon - sample_times[-1] > 1e-9:
+            sample_times.append(horizon)
+
+        columns = TimeSeriesCollector.column_names()
+        samples: dict[str, list[float]] = {c: [] for c in columns}
+        node_capacity = float(self.config.buffer_bytes)
+        last_bytes = 0.0
+        last_time = 0.0
+        for now in sample_times:
+            created = round(self.gen_rate * now)
+            delivered = round(self._delivered_by(now))
+            relayed = round(self._relayed_by(now))
+            live_copies = self._live_copies(now)
+            live_messages = self.gen_rate * min(now, self.window)
+            used = live_copies * self.config.message_size
+            occupancy = min(
+                1.0, used / (self.config.n_nodes * node_capacity)
+            )
+            bytes_relayed = float(relayed * self.config.message_size)
+            window = now - last_time if now > last_time else interval
+            samples["time"].append(now)
+            samples["created"].append(float(created))
+            samples["delivered"].append(float(delivered))
+            samples["relayed"].append(float(relayed))
+            samples["delivery_ratio"].append(
+                delivered / created if created else 0.0
+            )
+            for reason in DROP_REASONS:
+                samples[f"drop_{reason}"].append(0.0)
+            samples["drops_total"].append(0.0)
+            samples["buffer_used_bytes"].append(used)
+            samples["occupancy_mean"].append(occupancy)
+            # The mean-field has no node heterogeneity; max == mean.
+            samples["occupancy_max"].append(occupancy)
+            samples["live_messages"].append(round(live_messages))
+            samples["live_copies"].append(round(live_copies))
+            samples["bytes_relayed"].append(bytes_relayed)
+            samples["throughput_Bps"].append(
+                (bytes_relayed - last_bytes) / window
+            )
+            samples["transfers_started"].append(float(relayed))
+            samples["transfers_aborted"].append(0.0)
+            samples["faults_total"].append(0.0)
+            last_bytes = bytes_relayed
+            last_time = now
+
+        delivered_total = round(self._delivered_by(horizon))
+        relayed_total = round(self._relayed_by(horizon))
+        return {
+            "interval": float(interval),
+            "columns": list(columns),
+            "samples": samples,
+            "histograms": {
+                "delivery_latency_s": self._latency_histogram(delivered_total),
+                "transfer_duration_s": self._duration_histogram(relayed_total),
+            },
+            "faults_by_kind": {},
+        }
+
+    def write_timeseries(self, path: str | Path) -> None:
+        """JSON export matching :meth:`TimeSeriesCollector.write_json`."""
+        with Path(path).open("w", encoding="utf-8") as fh:
+            json.dump(self.timeseries(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

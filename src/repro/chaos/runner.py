@@ -25,8 +25,8 @@ from repro.chaos.oracles import (
     check_summary,
 )
 from repro.errors import InvariantViolation
-from repro.experiments.runner import build_scenario, run_built
-from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_built, run_scenario
+from repro.experiments.scenario import ANALYTIC_BACKENDS, ScenarioConfig
 
 __all__ = [
     "CaseResult",
@@ -68,9 +68,16 @@ def stable_summary(summary: Any) -> dict[str, Any]:
 
 def run_case(config: ScenarioConfig) -> CaseResult:
     """Run *config* and apply the invariant-family oracles."""
+    trace_source = None
     try:
-        built = build_scenario(config)
-        summary = run_built(built)
+        if config.engine_backend in ANALYTIC_BACKENDS:
+            # Mean-field cases build no simulator (hence no trace); the
+            # crash and summary-consistency oracles still apply in full.
+            summary = run_scenario(config)
+        else:
+            built = build_scenario(config)
+            trace_source = built
+            summary = run_built(built)
     except (KeyboardInterrupt, SystemExit):
         raise
     except InvariantViolation as exc:
@@ -99,7 +106,11 @@ def run_case(config: ScenarioConfig) -> CaseResult:
                 invariant=type(exc).__name__,
             ),
         )
-    trace_jsonl = built.trace.to_jsonl() if built.trace is not None else None
+    trace_jsonl = (
+        trace_source.trace.to_jsonl()
+        if trace_source is not None and trace_source.trace is not None
+        else None
+    )
     failure = check_summary(summary)
     return CaseResult(
         config=config,
@@ -134,7 +145,14 @@ def check_backend_identity(
     fuzzer reuses the digest its replay oracle just computed).  Shared by
     the fuzzing loop, its failure-replay verification and corpus replay so
     all three judge a divergence the same way.
+
+    Analytic/hybrid cases have no byte-identical sibling backend (the
+    mean-field expectation is *not* a discrete run), so the oracle
+    vacuously passes for them; the replay oracle still covers their
+    determinism.
     """
+    if config.engine_backend in ANALYTIC_BACKENDS:
+        return None
     flipped = config.replace(
         engine_backend="vector"
         if config.engine_backend == "scalar"

@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.scenario import (
+    ANALYTIC_BACKENDS,
+    ANALYTIC_MOBILITIES,
+    ANALYTIC_ROUTERS,
+    ScenarioConfig,
+)
 from repro.faults.plan import EVENT_KINDS, FaultEvent, FaultPlan
 from repro.rng import RngFactory, derive_seed
 
@@ -76,7 +81,12 @@ class ChaosSpace:
     #: Engine backends cases may run on.  Sampling "vector" points the
     #: whole oracle battery at the struct-of-arrays fast path; the
     #: backend-identity oracle additionally cross-checks every metamorphic
-    #: case against the *other* backend (docs/vectorization.md).
+    #: case against the *other* backend (docs/vectorization.md).  The
+    #: default excludes "analytic"/"hybrid" so the historical
+    #: (seed, index) -> case corpus mapping stays intact; widen to
+    #: ``("scalar", "vector", "analytic", "hybrid")`` to point the replay /
+    #: crash / summary oracles at the mean-field backend too (cases are
+    #: coerced into its validity envelope — see :func:`sample_case`).
     engine_backends: tuple[str, ...] = ("scalar", "vector")
 
 
@@ -158,6 +168,24 @@ def sample_case(
     backend = space.engine_backends[
         int(rng.integers(len(space.engine_backends)))
     ]
+    sanitize = True
+    trace_capacity = space.trace_capacity
+    if backend in ANALYTIC_BACKENDS:
+        # The mean-field backend validates a narrower envelope (no faults,
+        # no tracing/sanitizing, modelled routers/mobilities only —
+        # ScenarioConfig raises ConfigurationError otherwise).  Coerce the
+        # draw into that envelope deterministically so every sampled case
+        # constructs; the *rejection* path is covered by
+        # tests/analytic/test_config_validation.py.
+        if router not in ANALYTIC_ROUTERS:
+            router = ANALYTIC_ROUTERS[int(rng.integers(len(ANALYTIC_ROUTERS)))]
+        if mobility not in ANALYTIC_MOBILITIES:
+            mobility = ANALYTIC_MOBILITIES[
+                int(rng.integers(len(ANALYTIC_MOBILITIES)))
+            ]
+        faults = None
+        sanitize = False
+        trace_capacity = 0
 
     # Area scales with fleet size at roughly the Table-II node density, so
     # contact rates stay in a regime where messages actually move.
@@ -180,8 +208,8 @@ def sample_case(
         engine_backend=backend,
         seed=seed,
         faults=faults,
-        sanitize=True,
-        trace_capacity=space.trace_capacity,
+        sanitize=sanitize,
+        trace_capacity=trace_capacity,
     )
 
 

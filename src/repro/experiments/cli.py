@@ -19,7 +19,7 @@ import json
 import sys
 from typing import Any
 
-from repro.errors import InvariantViolation
+from repro.errors import ConfigurationError, InvariantViolation
 from repro.experiments import figures as F
 from repro.experiments.runner import build_scenario, run_built
 from repro.experiments.scenario import epfl_scenario, random_waypoint_scenario
@@ -60,7 +60,60 @@ def _dump_json(path: str, payload: Any) -> None:
     print(f"wrote {path}")
 
 
+def _cmd_run_analytic(args: argparse.Namespace) -> int:
+    """The ``run --engine analytic|hybrid`` path: no simulator is built."""
+    from repro.analytic.runner import run_analytic
+    from repro.analytic.hybrid import hybrid_summary
+
+    base = random_waypoint_scenario() if args.scenario == "rwp" else epfl_scenario()
+    config = base.replace(
+        policy=args.policy, seed=args.seed, initial_copies=args.copies,
+        engine_backend=args.engine,
+    )
+    if args.reduced:
+        config = F.reduced(config)
+    # Plumb every simulator-path flag into the config so out-of-envelope
+    # requests (--churn, --trace, --sanitize, --profile, --snapshot-every)
+    # fail loudly in _validate_analytic instead of being silently ignored.
+    if args.churn:
+        duty = config.sim_time / 5.0
+        config = config.replace(faults=FaultPlan(
+            churn_fraction=args.churn, churn_off_time=duty, churn_on_time=duty
+        ))
+    config = config.replace(
+        sanitize=args.sanitize,
+        obs_interval=args.obs_interval if args.obs_out else 0.0,
+        trace_capacity=args.trace_capacity if args.trace else 0,
+        profile=args.profile,
+        snapshot_every=args.snapshot_every,
+        snapshot_to=args.snapshot_to,
+    )
+    if args.from_snapshot:
+        raise ConfigurationError(
+            f"the {args.engine!r} backend has no simulator state; "
+            "--from-snapshot needs the scalar/vector engine"
+        )
+    result = run_analytic(config)
+    summary = (
+        hybrid_summary(result) if args.engine == "hybrid" else result.summary()
+    )
+    print(f"meeting rate: λ = {result.meeting.rate:.3e} /s "
+          f"({result.meeting.method}: {result.meeting.detail})")
+    if result.blocking > 0:
+        print(f"buffer blocking: ρ = {result.blocking:.3f}")
+    print(RunSummary.table_header())
+    print(summary.table_row())
+    if args.obs_out:
+        result.write_timeseries(args.obs_out)
+        print(f"wrote {args.obs_out}")
+    if args.json:
+        _dump_json(args.json, summary.as_dict())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.engine in ("analytic", "hybrid"):
+        return _cmd_run_analytic(args)
     base = random_waypoint_scenario() if args.scenario == "rwp" else epfl_scenario()
     config = base.replace(
         policy=args.policy, seed=args.seed, initial_copies=args.copies,
@@ -155,6 +208,37 @@ def _cmd_figsweep(args: argparse.Namespace, scenario: str) -> int:
     return 1 if data.failures else 0
 
 
+def _cmd_figvalidate(args: argparse.Namespace) -> int:
+    data = F.fig_validate(
+        scenario=args.scenario,
+        axis=args.axis,
+        full=args.full,
+        policies=tuple(args.policies),
+        replicates=args.replicates,
+        workers=args.workers,
+        seed=args.seed,
+        retries=args.retries,
+        timeout=args.timeout,
+        resume=args.resume,
+    )
+    for metric in F.PAPER_METRICS:
+        print(data.metric_table(metric))
+        print()
+    if data.failures:
+        print(f"{len(data.failures)} run(s) failed:")
+        for failure in data.failures:
+            print(f"  {failure.table_row()}")
+    if args.json:
+        _dump_json(args.json, {
+            "figure": data.figure,
+            "x_label": data.x_label,
+            "x_values": data.x_values,
+            "series": data.series,
+            "failures": [f.as_dict() for f in data.failures],
+        })
+    return 1 if data.failures else 0
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     fit, samples = F.fig3_intermeeting(
         scenario=args.scenario, full=args.full, seed=args.seed
@@ -202,11 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scenario", choices=("rwp", "epfl"), default="rwp")
     p_run.add_argument("--policy", default="sdsrp")
     p_run.add_argument("--copies", type=int, default=32)
-    p_run.add_argument("--engine", choices=("scalar", "vector"),
+    p_run.add_argument("--engine",
+                       choices=("scalar", "vector", "analytic", "hybrid"),
                        default="scalar",
-                       help="engine backend: per-node scalar loop or the "
+                       help="engine backend: per-node scalar loop, the "
                             "struct-of-arrays vector core (byte-identical "
-                            "output; see docs/vectorization.md)")
+                            "output; see docs/vectorization.md), the "
+                            "mean-field analytic surrogate, or the hybrid "
+                            "analytic+sampled mode (docs/analytic.md)")
     p_run.add_argument("--reduced", action="store_true",
                        help="run the reduced-scale variant")
     p_run.add_argument("--churn", type=float, default=0.0, metavar="FRACTION",
@@ -255,6 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(fig, help=f"{fig} metric sweeps")
         _add_sweep_args(p)
 
+    p_val = sub.add_parser(
+        "fig-validate",
+        help="fig8/fig9 sweep with the analytic mean-field overlay "
+             "(see docs/analytic.md)",
+    )
+    _add_common(p_val)
+    p_val.add_argument("--scenario", choices=("rwp", "epfl"), default="rwp")
+    p_val.add_argument("--axis", choices=F.VALIDATE_AXES, default="copies")
+    p_val.add_argument("--full", action="store_true",
+                       help="paper-scale grids (slow)")
+    p_val.add_argument("--replicates", type=int, default=1)
+    p_val.add_argument("--workers", type=int, default=None)
+    p_val.add_argument("--policies", nargs="+", default=list(F.PAPER_POLICIES))
+    p_val.add_argument("--resume", type=str, default=None, metavar="PATH")
+    p_val.add_argument("--retries", type=int, default=0)
+    p_val.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS")
+
     sub.add_parser(
         "chaos",
         help="fuzz fault schedules against the correctness oracles "
@@ -284,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fig4(args)
     if args.command in ("fig8", "fig9"):
         return _cmd_figsweep(args, args.command)
+    if args.command == "fig-validate":
+        return _cmd_figvalidate(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

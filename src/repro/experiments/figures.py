@@ -203,6 +203,54 @@ def _sweep_figure(
 # -- Fig. 8 (random-waypoint) and Fig. 9 (EPFL substitute) --------------------
 
 
+def _axis_plan(
+    base: ScenarioConfig, axis: str, full: bool, node_factor: float
+) -> tuple[str, Sequence[Any], Callable[[ScenarioConfig, Any], ScenarioConfig]]:
+    """One sweep axis as ``(x_label, x_values, apply_x)``.
+
+    Shared by the simulated sweeps and the ``fig-validate`` analytic
+    overlay so both evaluate *exactly* the same grid points.
+    """
+    if axis == "copies":
+        values: Sequence[Any] = FULL_COPIES if full else REDUCED_COPIES
+        # x values stay in paper units; the applied L scales with the fleet
+        # so L/N (spray saturation) matches the paper's operating points.
+        return (
+            "initial copies L", values,
+            lambda c, x: c.replace(initial_copies=max(2, round(x * node_factor))),
+        )
+    if axis == "buffer":
+        values = FULL_BUFFERS_MB if full else REDUCED_BUFFERS_MB
+        return (
+            "buffer size (MB)", values,
+            lambda c, x: c.replace(buffer_bytes=megabytes(x)),
+        )
+    if axis == "rate":
+        values = FULL_RATES if full else REDUCED_RATES
+        # The reduction rescales interval_range to keep per-node load; apply
+        # the same factor to each swept interval (both presets start at
+        # [25, 35], so the factor is base.interval[0]/25).
+        scale = base.interval_range[0] / 25.0
+        return (
+            "generation interval (s)", values,
+            lambda c, x: c.replace(interval_range=(x[0] * scale, x[1] * scale)),
+        )
+    if axis == "churn":
+        values = FULL_CHURN if full else REDUCED_CHURN
+        # Robustness extension: x is the churned fleet fraction on a
+        # 1/5-horizon duty cycle (1 h off / 1 h on at paper scale).
+        duty = base.sim_time / 5.0
+        return (
+            "churned node fraction", values,
+            lambda c, x: c.replace(
+                faults=FaultPlan(
+                    churn_fraction=x, churn_off_time=duty, churn_on_time=duty
+                )
+            ) if x else c,
+        )
+    raise ValueError(f"unknown axis {axis!r}")
+
+
 def _metric_sweep(
     figure: str,
     base: ScenarioConfig,
@@ -222,50 +270,13 @@ def _metric_sweep(
     base = base.replace(seed=seed)
     if not full:
         base = reduced(base, node_factor, time_factor)
-    node_factor = base.n_nodes / original_nodes
-    resilience = dict(retries=retries, timeout=timeout, resume=resume)
-    if axis == "copies":
-        values: Sequence[Any] = FULL_COPIES if full else REDUCED_COPIES
-        # x values stay in paper units; the applied L scales with the fleet
-        # so L/N (spray saturation) matches the paper's operating points.
-        return _sweep_figure(
-            figure, base, "initial copies L", values,
-            lambda c, x: c.replace(initial_copies=max(2, round(x * node_factor))),
-            policies, replicates, workers, **resilience,
-        )
-    if axis == "buffer":
-        values = FULL_BUFFERS_MB if full else REDUCED_BUFFERS_MB
-        return _sweep_figure(
-            figure, base, "buffer size (MB)", values,
-            lambda c, x: c.replace(buffer_bytes=megabytes(x)),
-            policies, replicates, workers, **resilience,
-        )
-    if axis == "rate":
-        values = FULL_RATES if full else REDUCED_RATES
-        # The reduction rescales interval_range to keep per-node load; apply
-        # the same factor to each swept interval (both presets start at
-        # [25, 35], so the factor is base.interval[0]/25).
-        scale = base.interval_range[0] / 25.0
-        return _sweep_figure(
-            figure, base, "generation interval (s)", values,
-            lambda c, x: c.replace(interval_range=(x[0] * scale, x[1] * scale)),
-            policies, replicates, workers, **resilience,
-        )
-    if axis == "churn":
-        values = FULL_CHURN if full else REDUCED_CHURN
-        # Robustness extension: x is the churned fleet fraction on a
-        # 1/5-horizon duty cycle (1 h off / 1 h on at paper scale).
-        duty = base.sim_time / 5.0
-        return _sweep_figure(
-            figure, base, "churned node fraction", values,
-            lambda c, x: c.replace(
-                faults=FaultPlan(
-                    churn_fraction=x, churn_off_time=duty, churn_on_time=duty
-                )
-            ) if x else c,
-            policies, replicates, workers, **resilience,
-        )
-    raise ValueError(f"unknown axis {axis!r}")
+    x_label, values, apply_x = _axis_plan(
+        base, axis, full, base.n_nodes / original_nodes
+    )
+    return _sweep_figure(
+        figure, base, x_label, values, apply_x, policies, replicates,
+        workers, retries=retries, timeout=timeout, resume=resume,
+    )
 
 
 def fig8_copies(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
@@ -358,6 +369,64 @@ def fig9_churn(full: bool = False, policies: Sequence[str] = PAPER_POLICIES,
                          node_factor, time_factor, **resilience)
 
 
+# -- fig-validate: analytic overlay on the simulated sweeps -------------------
+
+#: Series key of the analytic overlay in fig-validate figures.
+ANALYTIC_SERIES = "analytic"
+#: Axes fig-validate supports — churn is excluded because the analytic
+#: backend (by validation) cannot model fault injection.
+VALIDATE_AXES = ("copies", "buffer", "rate")
+
+
+def fig_validate(
+    scenario: str = "rwp",
+    axis: str = "copies",
+    full: bool = False,
+    policies: Sequence[str] = PAPER_POLICIES,
+    replicates: int = 1,
+    workers: int | None = None,
+    seed: int = 1,
+    node_factor: float | None = None,
+    time_factor: float | None = None,
+    **resilience: Any,
+) -> FigureData:
+    """A fig8/fig9 sweep with the mean-field prediction overlaid.
+
+    Runs the usual simulated (policy × x) grid, then evaluates the *same*
+    grid points through ``engine_backend="analytic"`` and attaches the
+    result as one extra series keyed :data:`ANALYTIC_SERIES`.  The analytic
+    model has no buffer-policy axis — its curve is the mean-field
+    prediction the simulated policies should bracket, which is exactly the
+    cross-check the preset exists to draw (docs/analytic.md).
+    """
+    if axis not in VALIDATE_AXES:
+        raise ValueError(
+            f"fig-validate supports axes {VALIDATE_AXES}, not {axis!r}"
+        )
+    base = random_waypoint_scenario() if scenario == "rwp" else epfl_scenario()
+    figure = f"fig-validate({scenario}/{axis})"
+    data = _metric_sweep(figure, base, axis, full, policies, replicates,
+                         workers, seed, node_factor, time_factor, **resilience)
+
+    overlay = base.replace(seed=seed)
+    if not full:
+        overlay = reduced(overlay, node_factor, time_factor)
+    _, values, apply_x = _axis_plan(
+        overlay, axis, full, overlay.n_nodes / base.n_nodes
+    )
+    overlay = overlay.replace(policy="fifo", engine_backend="analytic")
+    series: dict[str, list[float]] = {m: [] for m in PAPER_METRICS}
+    raw: list[list[RunSummary]] = []
+    for x in values:
+        summary = run_scenario(apply_x(overlay, x))
+        for metric in PAPER_METRICS:
+            series[metric].append(float(getattr(summary, metric)))
+        raw.append([summary])
+    data.series[ANALYTIC_SERIES] = series
+    data.raw[ANALYTIC_SERIES] = raw
+    return data
+
+
 # -- Fig. 3: intermeeting distributions ---------------------------------------
 
 
@@ -396,6 +465,7 @@ def fig4_priority_curve(**kwargs: Any) -> dict[str, Any]:
 
 
 __all__ = [
+    "ANALYTIC_SERIES",
     "FULL_BUFFERS_MB",
     "FULL_CHURN",
     "FULL_COPIES",
@@ -406,8 +476,10 @@ __all__ = [
     "REDUCED_CHURN",
     "REDUCED_COPIES",
     "REDUCED_RATES",
+    "VALIDATE_AXES",
     "FigureData",
     "fig3_intermeeting",
+    "fig_validate",
     "fig4_priority_curve",
     "fig8_buffer",
     "fig8_churn",

@@ -20,10 +20,23 @@ from repro.units import kbps, megabytes, minutes
 MOBILITY_KINDS = (
     "rwp", "taxi", "random-walk", "random-direction", "stationary", "trace",
 )
-#: Engine backends (see docs/vectorization.md): "scalar" is the per-node
-#: reference implementation, "vector" the struct-of-arrays fast path that
-#: is proven byte-identical by tests/vector/test_equivalence.py.
-ENGINE_BACKENDS = ("scalar", "vector")
+#: Engine backends (see docs/vectorization.md and docs/analytic.md):
+#: "scalar" is the per-node reference implementation, "vector" the
+#: struct-of-arrays fast path proven byte-identical by
+#: tests/vector/test_equivalence.py, "analytic" the mean-field surrogate
+#: (repro.analytic; no simulation at all), and "hybrid" the analytic field
+#: plus sampled discrete per-message outcomes.
+ENGINE_BACKENDS = ("scalar", "vector", "analytic", "hybrid")
+#: The two backends served by the mean-field models.
+ANALYTIC_BACKENDS = ("analytic", "hybrid")
+#: Routers with an analytic model (repro.analytic.runner dispatches on
+#: these; utility-routed protocols have no closed form).
+ANALYTIC_ROUTERS = ("snw", "snw-source", "epidemic", "direct")
+#: Mobilities the analytic backend can parameterize: a derived meeting
+#: rate (waypoint family) or an empirically calibrated one (taxi).
+#: Stationary fleets never meet and traces are arbitrary, so neither fits
+#: a homogeneous-rate mean field.
+ANALYTIC_MOBILITIES = ("rwp", "random-walk", "random-direction", "taxi")
 #: Contact kernels the vector backend may use; None picks by fleet size.
 CONTACT_BACKENDS = ("matrix", "grid")
 #: Router kinds understood by the runner.
@@ -144,6 +157,62 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"unknown contact_backend {self.contact_backend!r}; "
                 f"expected one of {CONTACT_BACKENDS} or None"
+            )
+        if self.engine_backend in ANALYTIC_BACKENDS:
+            self._validate_analytic()
+
+    def _validate_analytic(self) -> None:
+        """Reject features the mean-field surrogate cannot honor.
+
+        Anything a user could reasonably expect to *change the numbers* —
+        fault injection, event tracing, snapshotting, the runtime sanitizer
+        — must fail loudly here rather than be silently ignored by a
+        backend that never builds a simulator (docs/analytic.md lists the
+        validity envelope).
+        """
+        backend = self.engine_backend
+        if self.router not in ANALYTIC_ROUTERS:
+            raise ConfigurationError(
+                f"router {self.router!r} has no analytic model; the "
+                f"{backend!r} backend supports {ANALYTIC_ROUTERS}"
+            )
+        if self.mobility not in ANALYTIC_MOBILITIES:
+            raise ConfigurationError(
+                f"mobility {self.mobility!r} has no meeting-rate estimator; "
+                f"the {backend!r} backend supports {ANALYTIC_MOBILITIES}"
+            )
+        if self.faults is not None and self.faults.enabled:
+            raise ConfigurationError(
+                f"the {backend!r} backend cannot inject faults; "
+                "use the scalar/vector simulator for fault studies"
+            )
+        if self.sanitize:
+            raise ConfigurationError(
+                f"the {backend!r} backend runs no simulation to sanitize"
+            )
+        if self.trace_capacity > 0:
+            raise ConfigurationError(
+                f"the {backend!r} backend emits no event trace; "
+                "set trace_capacity=0"
+            )
+        if self.snapshot_every > 0:
+            raise ConfigurationError(
+                f"the {backend!r} backend has no simulator state to "
+                "snapshot; set snapshot_every=0"
+            )
+        if self.with_buffer_report:
+            raise ConfigurationError(
+                f"the {backend!r} backend has no per-node buffers to report"
+            )
+        if self.metrics_warmup > 0:
+            raise ConfigurationError(
+                f"the {backend!r} backend models the whole horizon; "
+                "metrics_warmup is not supported"
+            )
+        if self.profile:
+            raise ConfigurationError(
+                f"the {backend!r} backend has no per-phase profiler; "
+                "set profile=False"
             )
 
     def replace(self, **changes: Any) -> "ScenarioConfig":

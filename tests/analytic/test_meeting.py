@@ -1,0 +1,105 @@
+"""Meeting-rate estimator: derived formula, calibration fallback, provenance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analytic.meeting import (
+    METHOD_CALIBRATED,
+    METHOD_DERIVED,
+    MeetingRate,
+    calibrated_rate,
+    derived_rate,
+    meeting_rate,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+
+
+def rwp_config(**overrides):
+    base = ScenarioConfig(
+        name="meeting-test",
+        n_nodes=20,
+        sim_time=4000.0,
+        mobility="rwp",
+        area=(2000.0, 2000.0),
+        speed_range=(2.0, 3.0),
+        pause_range=(0.0, 10.0),
+        radio_range=100.0,
+        router="snw",
+        policy="fifo",
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+def test_derived_rate_is_positive_and_finite():
+    est = derived_rate(rwp_config())
+    assert est.method == METHOD_DERIVED
+    assert est.rate > 0
+    assert math.isfinite(est.rate)
+    assert est.mean_intermeeting == pytest.approx(1.0 / est.rate)
+
+
+def test_derived_rate_scales_with_geometry():
+    base = derived_rate(rwp_config()).rate
+    # Quadrupled area -> roughly a quarter the rate (not exact: longer
+    # legs also raise the moving fraction slightly); doubled range ->
+    # exactly doubled rate.
+    big = derived_rate(rwp_config(area=(4000.0, 4000.0))).rate
+    assert big == pytest.approx(base / 4.0, rel=0.02)
+    long_radio = derived_rate(rwp_config(radio_range=200.0)).rate
+    assert long_radio == pytest.approx(base * 2.0)
+
+
+def test_derived_rate_rejects_unsupported_mobility():
+    with pytest.raises(ConfigurationError):
+        derived_rate(rwp_config(mobility="taxi", area=(8000.0, 8000.0)))
+
+
+def test_derived_rate_rejects_zero_speed():
+    with pytest.raises(ConfigurationError):
+        derived_rate(rwp_config(speed_range=(0.0, 0.0)))
+
+
+def test_calibrated_rate_is_deterministic():
+    config = rwp_config(sim_time=1500.0)
+    first = calibrated_rate(config)
+    second = calibrated_rate(config)
+    assert first.method == METHOD_CALIBRATED
+    assert first.rate == second.rate
+    assert first.detail == second.detail
+
+
+def test_calibration_agrees_with_derived_formula_on_rwp():
+    """The empirical estimator must land near the closed form on RWP.
+
+    Groenevelt's formula is itself an approximation, so the bar is a
+    factor-of-two band, not equality — what matters is that the fallback
+    produces the same order of magnitude the models are parameterized by.
+    """
+    config = rwp_config(sim_time=4000.0)
+    derived = derived_rate(config).rate
+    calibrated = calibrated_rate(config).rate
+    assert 0.5 * derived < calibrated < 2.0 * derived
+
+
+def test_auto_method_picks_per_mobility():
+    assert meeting_rate(rwp_config()).method == METHOD_DERIVED
+    taxi = rwp_config(
+        mobility="taxi", area=(3000.0, 3000.0), sim_time=1500.0
+    )
+    assert meeting_rate(taxi).method == METHOD_CALIBRATED
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ConfigurationError):
+        meeting_rate(rwp_config(), method="guess")
+
+
+def test_meeting_rate_validates_positivity():
+    with pytest.raises(ConfigurationError):
+        MeetingRate(rate=0.0, method=METHOD_DERIVED)
+    with pytest.raises(ConfigurationError):
+        MeetingRate(rate=float("nan"), method=METHOD_DERIVED)

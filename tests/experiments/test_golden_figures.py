@@ -24,7 +24,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.figures import fig8_copies, fig9_copies
+from repro.experiments.figures import (
+    ANALYTIC_SERIES,
+    fig8_copies,
+    fig9_copies,
+    fig_validate,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -88,3 +93,16 @@ def test_fig9_copies_matches_golden():
     )
     assert not data.failures
     check_golden("fig9_copies", figure_payload(data))
+
+
+def test_fig_validate_copies_matches_golden():
+    """The validation preset: simulated policy curves plus the analytic
+    overlay, both pinned — a drift in *either* engine shows up here."""
+    data = fig_validate(
+        scenario="rwp", axis="copies", policies=POLICIES, replicates=1,
+        workers=1, seed=SEED, node_factor=NODE_FACTOR,
+        time_factor=TIME_FACTOR,
+    )
+    assert not data.failures
+    assert ANALYTIC_SERIES in data.series
+    check_golden("fig_validate_copies", figure_payload(data))
