@@ -1,6 +1,17 @@
 """Parallel execution utilities for parameter sweeps."""
 
 from repro.parallel.pool import parallel_map
-from repro.parallel.partition import chunk_evenly, chunk_sized
+from repro.parallel.partition import (
+    chunk_evenly,
+    chunk_exact,
+    chunk_sized,
+    stripe_spans,
+)
 
-__all__ = ["chunk_evenly", "chunk_sized", "parallel_map"]
+__all__ = [
+    "chunk_evenly",
+    "chunk_exact",
+    "chunk_sized",
+    "parallel_map",
+    "stripe_spans",
+]

@@ -26,7 +26,20 @@ def chunk_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
     """Split *items* into *parts* contiguous chunks whose sizes differ by <= 1.
 
     Empty trailing chunks are dropped, so fewer than *parts* lists may be
-    returned when there are fewer items than parts.
+    returned when there are fewer items than parts.  Do NOT pair the result
+    positionally against a fixed-length id list (``zip(ids, chunks)`` silently
+    truncates when ``parts > len(items)``) — use :func:`chunk_exact` when the
+    consumer owns exactly *parts* slots.
+    """
+    return [chunk for chunk in chunk_exact(items, parts) if chunk]
+
+
+def chunk_exact(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split *items* into exactly *parts* contiguous chunks (some may be
+    empty when ``parts > len(items)``); sizes differ by <= 1.
+
+    Safe to zip against a *parts*-long id list: position ``i`` of the result
+    always exists and is chunk ``i``'s (possibly empty) work share.
     """
     if parts < 1:
         raise ConfigurationError(f"parts must be >= 1: {parts}")
@@ -36,8 +49,22 @@ def chunk_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
     start = 0
     for i in range(parts):
         size = base + (1 if i < extra else 0)
-        if size == 0:
-            break
         out.append(list(items[start : start + size]))
         start += size
     return out
+
+
+def stripe_spans(total: float, parts: int) -> list[tuple[float, float]]:
+    """Partition ``[0, total)`` into *parts* contiguous half-open spans.
+
+    The spatial analogue of :func:`chunk_exact`: exactly *parts* spans are
+    returned, span ``i`` is ``[i * total / parts, (i + 1) * total / parts)``
+    and the last span's upper bound is exactly *total* (no float-accumulation
+    gap).  Used by the shard engine to assign map stripes to workers.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"parts must be >= 1: {parts}")
+    if total <= 0:
+        raise ConfigurationError(f"total must be positive: {total}")
+    edges = [total * i / parts for i in range(parts)] + [float(total)]
+    return [(edges[i], edges[i + 1]) for i in range(parts)]

@@ -1,0 +1,24 @@
+"""Crash-tolerant spatial sharding of the contact plane (docs/sharding.md).
+
+``ScenarioConfig.shard_count > 1`` stripes the map across supervised
+spawn-context worker processes that hold lockstep mobility replicas and
+answer contact-pair queries for the stripes they own at a tick barrier.
+Results are byte-identical to the single-process run for any shard count,
+including across worker crashes (snapshot + exact-barrier-time replay
+recovery) and graceful degradation (stripes folding into survivors, down
+to a plain in-process run).
+"""
+
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.partition import StripePlan
+from repro.shard.supervisor import ShardHandle, ShardStats, ShardSupervisor
+from repro.shard.world import ShardedWorld
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardHandle",
+    "ShardStats",
+    "ShardSupervisor",
+    "ShardedWorld",
+    "StripePlan",
+]

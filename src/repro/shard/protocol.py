@@ -1,0 +1,92 @@
+"""Wire protocol between the shard coordinator and its workers.
+
+Messages are plain tuples of JSON-ish values sent over a duplex
+``multiprocessing`` pipe (spawn context, same start-method discipline as
+:mod:`repro.parallel.pool`).  Coordinator -> worker:
+
+``("init", payload)``
+    (Re)position the worker's replica.  *payload* carries either an inline
+    ``replica`` state (pushed from the coordinator's live world) or the
+    path of the worker's rolling ``snapshot`` file, the stripe assignment,
+    and the exact barrier times to ``replay`` after restoring — the times
+    are recorded coordinator floats, never re-derived arithmetic, because
+    recurring-event times accumulate float drift that ``k * tick`` would
+    not reproduce.
+``("assign", stripes)``
+    Change the stripe assignment (degradation fold).
+``("tick", seq, now)``
+    Barrier *seq*: advance the replica to *now* and return owned pairs.
+``("snap", seq)``
+    Write the rolling per-shard snapshot (atomic, checksummed — the
+    :mod:`repro.snapshot` codec) capturing the replica as of barrier *seq*.
+``("bye",)``
+    Clean shutdown.
+
+Worker -> coordinator: ``("ready", time)`` / ``("init-error", reason)``
+after init, ``("hb", seq)`` immediately on receiving a tick (liveness,
+distinct from completion), ``("pairs", seq, pairs, digest)`` with the
+position digest as a lockstep-drift tripwire, ``("snapped", seq, path)``,
+``("assigned", stripes)``.
+
+The replica a worker holds is the full fleet's *mobility* state plus the
+``"mobility"`` RNG stream — movement is replicated, only contact detection
+is decomposed.  Replicated movement is what buys byte-identity: every
+worker advances the same state with the same draws, so ownership filtering
+is the only thing that differs between shards, and the merged pair set is
+the single-process detector output exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.snapshot.capture import _capture_mobility
+from repro.snapshot.restore import _restore_mobility
+
+__all__ = [
+    "capture_replica",
+    "positions_digest",
+    "restore_replica",
+]
+
+
+def capture_replica(
+    mobility: MobilityModel, stream: np.random.Generator
+) -> dict[str, Any]:
+    """JSON-safe replica state: mobility arrays + the mobility RNG stream.
+
+    The stream's bit-generator state must travel with the arrays — a
+    freshly-seeded stream is at position zero, not mid-run, and the first
+    waypoint redraw after restore would diverge without it.
+    """
+    return {
+        "mobility": _capture_mobility(mobility),
+        "rng_state": stream.bit_generator.state,
+    }
+
+
+def restore_replica(
+    mobility: MobilityModel,
+    stream: np.random.Generator,
+    replica: dict[str, Any],
+) -> None:
+    """Inverse of :func:`capture_replica` (onto a built, initialized pair)."""
+    _restore_mobility(mobility, replica["mobility"])
+    stream.bit_generator.state = replica["rng_state"]
+
+
+def positions_digest(positions: np.ndarray) -> str:
+    """SHA-256 over the raw position bytes — the per-barrier drift tripwire.
+
+    Coordinator and every worker advance replicas of the same mobility
+    state; a digest mismatch means lockstep broke (version skew, a
+    non-deterministic kernel) and must fail the run loudly rather than
+    silently merge pairs computed from different worlds.
+    """
+    return hashlib.sha256(
+        np.ascontiguousarray(positions).tobytes()
+    ).hexdigest()

@@ -1,0 +1,269 @@
+"""Shard worker lifecycle: spawn, heartbeat deadlines, retries, quarantine.
+
+The supervisor owns the worker processes and the *failure policy*; the
+coordinator (:mod:`repro.shard.coordinator`) owns the barrier protocol and
+asks the supervisor three questions: is this shard overdue, may it be
+respawned again, and what does giving up on it cost.  Deadline detection is
+a pure function of an injectable clock (the :mod:`repro.service.supervisor`
+idiom), so tests drive stall/heartbeat semantics deterministically without
+processes; respawn pacing uses the seeded equal-jitter
+:func:`repro.experiments.sweep.backoff_delays` over the shard's named
+stream seed ``derive_seed(seed, "shard", i)`` through an injectable sleep —
+never an ambient ``time.sleep`` (reprolint REP010).
+
+A shard that exhausts its respawn budget is *quarantined*: its config is
+written as a self-contained chaos-corpus reproducer
+(:mod:`repro.chaos.corpus`), so triage of a poison region starts from the
+same artifact the fuzzer produces, and the coordinator folds its stripes
+into the survivors.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import backoff_delays
+from repro.parallel.pool import _pool_context
+from repro.rng import derive_seed
+from repro.shard.worker import shard_worker_main
+
+__all__ = ["ShardHandle", "ShardStats", "ShardSupervisor"]
+
+
+@dataclass
+class ShardHandle:
+    """One live worker: process + pipe + assignment + liveness bookkeeping."""
+
+    shard_id: int
+    incarnation: int
+    process: Any
+    conn: Any
+    stripes: tuple[int, ...]
+    #: Injected-clock timestamp of the last message received (any kind).
+    last_seen: float = 0.0
+
+
+@dataclass
+class ShardStats:
+    """Counters the recovery tests and the smoke harness assert on."""
+
+    spawns: int = 0
+    respawns: int = 0
+    worker_deaths: int = 0
+    stalls: int = 0
+    snapshot_recoveries: int = 0
+    push_recoveries: int = 0
+    folds: int = 0
+    quarantined: int = 0
+    digest_checks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+def _spawn_worker(
+    config: Any,
+    shard_id: int,
+    incarnation: int,
+    snapshot_path: str,
+    kill_at: int | None,
+) -> tuple[Any, Any]:
+    """Default spawn: a daemonic spawn-context process + duplex pipe."""
+    ctx = _pool_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    proc = ctx.Process(
+        target=shard_worker_main,
+        args=(child_conn, config, shard_id, incarnation, snapshot_path, kill_at),
+        daemon=True,
+    )
+    proc.start()
+    # Close the parent's copy of the child end or worker death would never
+    # surface as EOF on parent_conn.
+    child_conn.close()
+    return proc, parent_conn
+
+
+class ShardSupervisor:
+    """Spawns and polices the shard workers for one coordinator."""
+
+    def __init__(
+        self,
+        config: Any,
+        *,
+        snapshot_dir: str | os.PathLike[str],
+        barrier_timeout: float = 30.0,
+        max_respawns: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        quarantine_dir: str | os.PathLike[str] | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        spawn_fn: Callable[..., tuple[Any, Any]] = _spawn_worker,
+    ) -> None:
+        if barrier_timeout <= 0:
+            raise ConfigurationError(
+                f"barrier_timeout must be positive: {barrier_timeout}"
+            )
+        if max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0: {max_respawns}"
+            )
+        self.config = config
+        self.snapshot_dir = Path(snapshot_dir)
+        self.barrier_timeout = float(barrier_timeout)
+        self.max_respawns = int(max_respawns)
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._quarantine_dir = (
+            Path(quarantine_dir) if quarantine_dir is not None else None
+        )
+        # perf_counter, not time.time: pacing/deadlines only, REP002-clean.
+        self._clock = clock if clock is not None else time.perf_counter
+        self._sleep = sleep
+        self._spawn_fn = spawn_fn
+        self.handles: dict[int, ShardHandle] = {}
+        self._incarnations: dict[int, int] = {}
+        self._respawns_used: dict[int, int] = {}
+        self.stats = ShardStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def snapshot_path(self, shard_id: int) -> Path:
+        return self.snapshot_dir / f"shard-{shard_id}.snap.gz"
+
+    def _kill_at(self, shard_id: int, incarnation: int) -> int | None:
+        """The chaos barrier-crash trigger, first incarnation only."""
+        kill = getattr(self.config, "shard_kill", None)
+        if kill is not None and incarnation == 0 and kill[0] == shard_id:
+            return int(kill[1])
+        return None
+
+    def spawn(self, shard_id: int, stripes: tuple[int, ...]) -> ShardHandle:
+        """Start (or restart) the worker for *shard_id*."""
+        incarnation = self._incarnations.get(shard_id, -1) + 1
+        self._incarnations[shard_id] = incarnation
+        proc, conn = self._spawn_fn(
+            self.config,
+            shard_id,
+            incarnation,
+            str(self.snapshot_path(shard_id)),
+            self._kill_at(shard_id, incarnation),
+        )
+        handle = ShardHandle(
+            shard_id=shard_id,
+            incarnation=incarnation,
+            process=proc,
+            conn=conn,
+            stripes=tuple(stripes),
+            last_seen=self._clock(),
+        )
+        self.handles[shard_id] = handle
+        self.stats.spawns += 1
+        if incarnation > 0:
+            self.stats.respawns += 1
+        return handle
+
+    def live_ids(self) -> list[int]:
+        return sorted(self.handles)
+
+    def note(self, shard_id: int) -> None:
+        """A message arrived from *shard_id*: refresh its deadline."""
+        handle = self.handles.get(shard_id)
+        if handle is not None:
+            handle.last_seen = self._clock()
+
+    def overdue(self, shard_id: int) -> bool:
+        """True when the shard has been silent past the barrier timeout.
+
+        Pure clock arithmetic — heartbeats (which :meth:`note` records)
+        keep a slow-but-alive worker from being declared dead.
+        """
+        handle = self.handles.get(shard_id)
+        if handle is None:
+            return False
+        return self._clock() - handle.last_seen > self.barrier_timeout
+
+    def discard(self, shard_id: int) -> ShardHandle | None:
+        """Kill and forget the shard's current worker (it stays eligible
+        for respawn).  Safe on already-dead processes."""
+        handle = self.handles.pop(shard_id, None)
+        if handle is None:
+            return None
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        proc = handle.process
+        pid = getattr(proc, "pid", None)
+        if pid is not None and proc.is_alive():
+            os.kill(pid, signal.SIGKILL)
+        if hasattr(proc, "join"):
+            proc.join(timeout=5.0)
+        return handle
+
+    def shutdown(self) -> None:
+        for shard_id in list(self.handles):
+            self.discard(shard_id)
+
+    # -- failure policy ----------------------------------------------------
+
+    def respawns_left(self, shard_id: int) -> int:
+        return self.max_respawns - self._respawns_used.get(shard_id, 0)
+
+    def consume_respawn(self, shard_id: int) -> float:
+        """Burn one respawn attempt and return its seeded backoff delay."""
+        used = self._respawns_used.get(shard_id, 0)
+        if used >= self.max_respawns:
+            raise ConfigurationError(
+                f"shard {shard_id} has no respawn budget left"
+            )
+        self._respawns_used[shard_id] = used + 1
+        return self.backoff_schedule(shard_id)[used]
+
+    def backoff_schedule(self, shard_id: int) -> list[float]:
+        """The shard's full seeded retry-delay schedule (deterministic)."""
+        return backoff_delays(
+            derive_seed(self.config.seed, "shard", shard_id),
+            max(1, self.max_respawns),
+            base=self._backoff_base,
+            cap=self._backoff_cap,
+        )
+
+    def pace(self, delay: float) -> None:
+        """Wait out a backoff delay via the injected sleep."""
+        if delay > 0:
+            self._sleep(delay)
+
+    def quarantine(self, shard_id: int, cause: str) -> str:
+        """Write the poison region as a chaos-corpus reproducer."""
+        self.stats.quarantined += 1
+        if self._quarantine_dir is None:
+            return ""
+        from repro.chaos.corpus import make_entry, write_entry
+        from repro.chaos.oracles import ORACLE_CRASH, OracleFailure
+
+        entry = make_entry(
+            self.config,
+            OracleFailure(
+                oracle=ORACLE_CRASH,
+                detail=(
+                    f"shard {shard_id} quarantined after "
+                    f"{self._respawns_used.get(shard_id, 0)} respawns: "
+                    f"{cause}"
+                ),
+                invariant="ShardWorkerDeath",
+            ),
+        )
+        try:
+            return str(write_entry(self._quarantine_dir, entry))
+        except OSError as exc:
+            # Quarantine is diagnostics; a full disk must not turn a
+            # recoverable degradation into a crashed run.
+            return f"unwritable: {exc}"

@@ -1,0 +1,107 @@
+"""The shard-identity oracle: sharded vs single-process divergence is a
+finding.
+
+Mutation-style coverage mirroring the backend-identity oracle tests: a
+healthy sharded engine passes silently (worker kills included), while a
+deliberately lossy barrier merge is caught, verified by its own
+shard-identity replay (not downgraded to a failure-replay record) and
+written to the corpus as a replayable shard-identity entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.chaos.corpus import load_corpus, replay_reproduces
+from repro.chaos.fuzzer import fuzz
+from repro.chaos.oracles import ORACLE_SHARD
+from repro.chaos.runner import check_shard_identity
+from repro.shard.coordinator import ShardCoordinator
+from tests.chaos.conftest import fast_space, tiny_case
+
+
+def break_shard_merge(monkeypatch):
+    """Make the coordinator's merged pair set drop one pair per barrier.
+
+    The mutation lives in the coordinator (parent process) rather than in
+    a worker: spawn-context workers import fresh modules, so a parent-side
+    monkeypatch never reaches them — merging is the layer a test can break.
+    """
+    real = ShardCoordinator.pairs
+
+    def lossy(self, now, positions):
+        merged = real(self, now, positions)
+        if merged:
+            merged.discard(max(merged))
+        return merged
+
+    monkeypatch.setattr(ShardCoordinator, "pairs", lossy)
+
+
+def shard_space():
+    """A fast space where every scalar case runs sharded with a kill.
+
+    Faults and the buffer-monotone regime are switched off so each fuzz
+    iteration spends its (worker-spawn dominated) budget on the shard
+    oracle, not on sibling metamorphic runs."""
+    return dataclasses.replace(
+        fast_space(
+            n_nodes=(4, 6),
+            sim_time=(100.0, 130.0),
+            max_fault_events=0,
+            churn_prob=0.0,
+            flap_prob=0.0,
+            transfer_fault_prob=0.0,
+            buffer_messages=(1, 1),
+        ),
+        shard_counts=(2,),
+        shard_kill_prob=1.0,
+    )
+
+
+class TestCheckShardIdentity:
+    def test_unsharded_case_passes_vacuously(self):
+        assert check_shard_identity(tiny_case()) is None
+
+    def test_healthy_sharded_case_passes(self):
+        assert check_shard_identity(tiny_case(shard_count=2)) is None
+
+    def test_healthy_sharded_case_with_worker_kill_passes(self):
+        # Recovery makes the killed run byte-identical, so no finding.
+        case = tiny_case(shard_count=2, shard_kill=(0, 20))
+        assert check_shard_identity(case) is None
+
+    def test_lossy_merge_is_detected(self, monkeypatch):
+        break_shard_merge(monkeypatch)
+        failure = check_shard_identity(tiny_case(shard_count=2))
+        assert failure is not None
+        assert failure.oracle == ORACLE_SHARD
+        assert failure.invariant == "shard-identity"
+
+
+class TestFuzzCampaign:
+    def test_broken_merge_is_found_and_recorded(self, monkeypatch, tmp_path):
+        break_shard_merge(monkeypatch)
+        report = fuzz(
+            2,
+            seed=77,
+            space=shard_space(),
+            corpus_dir=str(tmp_path),
+            metamorphic_every=1,
+            shrink_failures=False,
+        )
+        assert report.checks.get(ORACLE_SHARD, 0) >= 1
+        findings = [
+            f for f in report.findings if f.failure.oracle == ORACLE_SHARD
+        ]
+        assert findings, "no shard-identity finding on a lossy merge"
+        # Verified by the shard-identity replay itself, not downgraded.
+        assert all(f.replay_confirmed for f in findings)
+        entries = load_corpus(tmp_path)
+        shard_entries = [
+            e for _, e in entries if e["failure"]["oracle"] == ORACLE_SHARD
+        ]
+        assert shard_entries
+        # ... and with the merge still broken, the entry reproduces.
+        for entry in shard_entries:
+            assert replay_reproduces(entry)

@@ -5,7 +5,12 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.parallel.partition import chunk_evenly, chunk_sized
+from repro.parallel.partition import (
+    chunk_evenly,
+    chunk_exact,
+    chunk_sized,
+    stripe_spans,
+)
 
 
 class TestChunkSized:
@@ -41,3 +46,65 @@ class TestChunkEvenly:
         if chunks:
             sizes = [len(c) for c in chunks]
             assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkExact:
+    def test_pads_with_empty_chunks(self):
+        assert chunk_exact([1, 2], 5) == [[1], [2], [], [], []]
+
+    def test_matches_chunk_evenly_when_items_suffice(self):
+        assert chunk_exact([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chunk_exact([1], 0)
+
+    def test_safe_to_zip_against_fixed_id_list(self):
+        """The contract chunk_evenly cannot offer: with parts > len(items),
+        zip(ids, chunk_evenly(...)) silently drops trailing ids; chunk_exact
+        keeps every consumer slot addressable."""
+        ids = list(range(5))
+        assigned = dict(zip(ids, chunk_exact(["a", "b"], 5)))
+        assert set(assigned) == set(ids)
+        assert assigned == {0: ["a"], 1: ["b"], 2: [], 3: [], 4: []}
+        truncated = dict(zip(ids, chunk_evenly(["a", "b"], 5)))
+        assert set(truncated) != set(ids), "the hazard chunk_exact fixes"
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_exact_count_balanced_and_order_preserving(self, items, parts):
+        chunks = chunk_exact(items, parts)
+        assert len(chunks) == parts
+        assert [x for c in chunks for x in c] == items
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_chunk_evenly_is_chunk_exact_minus_empties(self, items, parts):
+        assert chunk_evenly(items, parts) == [
+            c for c in chunk_exact(items, parts) if c
+        ]
+
+
+class TestStripeSpans:
+    def test_exact_count_and_tiling(self):
+        spans = stripe_spans(1000.0, 4)
+        assert spans == [
+            (0.0, 250.0), (250.0, 500.0), (500.0, 750.0), (750.0, 1000.0)
+        ]
+
+    def test_last_upper_bound_is_exactly_total(self):
+        # total/parts does not divide evenly in binary; the final edge must
+        # still be the exact total, not an accumulated approximation.
+        spans = stripe_spans(10.0, 3)
+        assert len(spans) == 3
+        assert spans[0][0] == 0.0 and spans[-1][1] == 10.0
+        for (_, hi), (lo, _) in zip(spans, spans[1:]):
+            assert hi == lo
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stripe_spans(1000.0, 0)
+        with pytest.raises(ConfigurationError):
+            stripe_spans(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            stripe_spans(-5.0, 2)

@@ -181,3 +181,81 @@ class TestHarvestAfterWorkerDeath:
         runs = (tmp_path / "d.log").read_text().splitlines()
         assert len(runs) == 1
 
+
+def die_twice_or_square(item):
+    """Dies on its first execution for "die-*" items, succeeds on retry.
+
+    The death marker file makes the crash once-per-item across pool
+    rebuilds without any shared state in the parent.
+    """
+    tag, logdir = item
+    marker = os.path.join(logdir, f"{tag}.died")
+    if tag.startswith("die") and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    with open(
+        os.path.join(logdir, f"{tag}.log"), "a", encoding="utf-8"
+    ) as fh:
+        fh.write(f"{os.getpid()}\n")
+    return tag
+
+
+class TestTwoDeathsSameGeneration:
+    def test_two_workers_dying_together_cost_two_rebuilds_not_the_map(
+        self, tmp_path
+    ):
+        """Both workers of the first pool generation die at once.
+
+        A broken pool only attributes the failure to the first item the
+        parent is awaiting; the other in-flight item is resubmitted on the
+        fresh pool, where its own death triggers a second rebuild.  The
+        regression pins that no item is lost, duplicated, or reordered
+        across the two consecutive rebuilds — and that the items after the
+        break still complete exactly once each.
+        """
+        items = [
+            ("die-a", str(tmp_path)),
+            ("die-b", str(tmp_path)),
+            ("c", str(tmp_path)),
+            ("d", str(tmp_path)),
+        ]
+        seen = []
+        absorbed = []
+
+        def absorb(item, exc):
+            absorbed.append(item[0])
+            return "crashed"
+
+        got = parallel_map(
+            die_twice_or_square, items, workers=2, timeout=60.0,
+            on_error=absorb, on_result=lambda i, r: seen.append(i),
+        )
+        # Each die-* item either crashed its slot or (having already
+        # burned its one death on a pool that broke before its result was
+        # awaited) completed on a later generation — both are correct;
+        # what is pinned is slot stability and input-order settlement.
+        assert len(got) == 4
+        assert got[0] in ("die-a", "crashed")
+        assert got[1] in ("die-b", "crashed")
+        assert got[2:] == ["c", "d"]
+        assert "crashed" in got[:2], "at least one death must surface"
+        assert seen == [0, 1, 2, 3]
+        assert set(absorbed) <= {"die-a", "die-b"}
+        for tag in ("c", "d"):
+            runs = (tmp_path / f"{tag}.log").read_text().splitlines()
+            assert len(runs) == 1, f"item {tag} ran {len(runs)} times"
+
+    def test_retry_seeds_for_crashed_items_are_fresh_and_distinct(self):
+        """The sweep convention layered on top of on_error: each crashed
+        item retries under a derived seed, so two items dying in the same
+        generation never retry correlated."""
+        from repro.rng import derive_seed
+
+        base_a, base_b = 101, 202
+        retry_a = [derive_seed(base_a, "retry", k) for k in (1, 2)]
+        retry_b = [derive_seed(base_b, "retry", k) for k in (1, 2)]
+        all_seeds = [base_a, base_b, *retry_a, *retry_b]
+        assert len(set(all_seeds)) == len(all_seeds)
+        # Deterministic: the same crash replays the same retry schedule.
+        assert retry_a == [derive_seed(base_a, "retry", k) for k in (1, 2)]

@@ -1,0 +1,199 @@
+"""ShardSupervisor failure policy, driven without real processes.
+
+Clock, sleep and spawn are all injected, so heartbeat deadlines, seeded
+backoff pacing and quarantine writes are exercised deterministically — the
+same idiom as the service supervisor tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import backoff_delays
+from repro.rng import derive_seed
+from tests.obs.conftest import tiny_config
+
+
+class FakeProcess:
+    def __init__(self):
+        self.pid = None  # discard() must not try to SIGKILL a fake pid
+        self.joined = False
+
+    def is_alive(self):
+        return False
+
+    def join(self, timeout=None):
+        self.joined = True
+
+
+class FakeConn:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_supervisor(tmp_path, config=None, **kwargs):
+    from repro.shard.supervisor import ShardSupervisor
+
+    spawned = []
+
+    def spawn_fn(cfg, shard_id, incarnation, snapshot_path, kill_at):
+        spawned.append((shard_id, incarnation, snapshot_path, kill_at))
+        return FakeProcess(), FakeConn()
+
+    kwargs.setdefault("spawn_fn", spawn_fn)
+    kwargs.setdefault("sleep", lambda _d: None)
+    sup = ShardSupervisor(
+        config if config is not None else tiny_config(shard_count=2),
+        snapshot_dir=tmp_path,
+        **kwargs,
+    )
+    return sup, spawned
+
+
+class TestLifecycle:
+    def test_spawn_tracks_incarnations_and_stats(self, tmp_path):
+        sup, spawned = make_supervisor(tmp_path)
+        h0 = sup.spawn(0, (0,))
+        h1 = sup.spawn(1, (1,))
+        assert (h0.incarnation, h1.incarnation) == (0, 0)
+        sup.discard(0)
+        h0b = sup.spawn(0, (0,))
+        assert h0b.incarnation == 1
+        assert sup.stats.spawns == 3 and sup.stats.respawns == 1
+        assert [s[:2] for s in spawned] == [(0, 0), (1, 0), (0, 1)]
+        assert sup.live_ids() == [0, 1]
+
+    def test_discard_closes_conn_and_is_idempotent(self, tmp_path):
+        sup, _ = make_supervisor(tmp_path)
+        handle = sup.spawn(0, (0,))
+        assert sup.discard(0) is handle
+        assert handle.conn.closed and handle.process.joined
+        assert sup.discard(0) is None
+
+    def test_shutdown_discards_everything(self, tmp_path):
+        sup, _ = make_supervisor(tmp_path)
+        sup.spawn(0, (0,))
+        sup.spawn(1, (1,))
+        sup.shutdown()
+        assert sup.live_ids() == []
+
+    def test_validation(self, tmp_path):
+        from repro.shard.supervisor import ShardSupervisor
+
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(tiny_config(), snapshot_dir=tmp_path,
+                            barrier_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(tiny_config(), snapshot_dir=tmp_path,
+                            max_respawns=-1)
+
+
+class TestDeadlines:
+    def test_overdue_is_pure_clock_arithmetic(self, tmp_path):
+        clock = FakeClock()
+        sup, _ = make_supervisor(tmp_path, clock=clock, barrier_timeout=30.0)
+        sup.spawn(0, (0,))
+        assert not sup.overdue(0)
+        clock.now += 30.0
+        assert not sup.overdue(0), "deadline is strict: exactly 30s is alive"
+        clock.now += 0.1
+        assert sup.overdue(0)
+
+    def test_heartbeats_refresh_the_deadline(self, tmp_path):
+        clock = FakeClock()
+        sup, _ = make_supervisor(tmp_path, clock=clock, barrier_timeout=30.0)
+        sup.spawn(0, (0,))
+        clock.now += 29.0
+        sup.note(0)  # slow-but-alive worker heartbeats just in time
+        clock.now += 29.0
+        assert not sup.overdue(0)
+        clock.now += 2.0
+        assert sup.overdue(0)
+
+    def test_unknown_shard_is_never_overdue(self, tmp_path):
+        sup, _ = make_supervisor(tmp_path)
+        assert not sup.overdue(5)
+        sup.note(5)  # no-op, not a KeyError
+
+
+class TestRespawnBudget:
+    def test_backoff_schedule_is_the_seeded_sweep_schedule(self, tmp_path):
+        config = tiny_config(shard_count=2)
+        sup, _ = make_supervisor(
+            tmp_path, config=config, max_respawns=3,
+            backoff_base=0.05, backoff_cap=1.0,
+        )
+        for shard_id in (0, 1):
+            expected = backoff_delays(
+                derive_seed(config.seed, "shard", shard_id), 3,
+                base=0.05, cap=1.0,
+            )
+            assert sup.backoff_schedule(shard_id) == expected
+        assert sup.backoff_schedule(0) != sup.backoff_schedule(1)
+
+    def test_consume_walks_the_schedule_then_raises(self, tmp_path):
+        sup, _ = make_supervisor(tmp_path, max_respawns=2)
+        schedule = sup.backoff_schedule(0)
+        assert sup.respawns_left(0) == 2
+        assert sup.consume_respawn(0) == schedule[0]
+        assert sup.consume_respawn(0) == schedule[1]
+        assert sup.respawns_left(0) == 0
+        with pytest.raises(ConfigurationError):
+            sup.consume_respawn(0)
+        assert sup.respawns_left(1) == 2, "budgets are per-shard"
+
+    def test_pace_uses_the_injected_sleep(self, tmp_path):
+        slept = []
+        sup, _ = make_supervisor(tmp_path, sleep=slept.append)
+        sup.pace(0.25)
+        sup.pace(0.0)
+        assert slept == [0.25]
+
+
+class TestChaosKillSwitch:
+    def test_kill_at_targets_first_incarnation_of_one_shard(self, tmp_path):
+        config = tiny_config(shard_count=2, shard_kill=(1, 5))
+        sup, spawned = make_supervisor(tmp_path, config=config)
+        sup.spawn(0, (0,))
+        sup.spawn(1, (1,))
+        sup.discard(1)
+        sup.spawn(1, (1,))  # the replacement must not inherit the bomb
+        assert [(s[0], s[1], s[3]) for s in spawned] == [
+            (0, 0, None), (1, 0, 5), (1, 1, None),
+        ]
+
+
+class TestQuarantine:
+    def test_writes_a_chaos_corpus_reproducer(self, tmp_path):
+        from repro.chaos.oracles import ORACLE_CRASH
+
+        qdir = tmp_path / "corpus"
+        config = tiny_config(shard_count=2)
+        sup, _ = make_supervisor(tmp_path, config=config, quarantine_dir=qdir)
+        sup.consume_respawn(0)
+        path = sup.quarantine(0, "worker died mid-barrier")
+        assert sup.stats.quarantined == 1
+        entry = json.loads((qdir / path.split("/")[-1]).read_text())
+        assert entry["failure"]["oracle"] == ORACLE_CRASH
+        assert entry["failure"]["invariant"] == "ShardWorkerDeath"
+        assert "1 respawns" in entry["failure"]["detail"]
+        assert entry["config"]["shard_count"] == 2
+
+    def test_without_a_dir_it_only_counts(self, tmp_path):
+        sup, _ = make_supervisor(tmp_path)
+        assert sup.quarantine(0, "x") == ""
+        assert sup.stats.quarantined == 1
